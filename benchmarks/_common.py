@@ -1,0 +1,93 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or in-text
+claim). By default the workloads run at a reduced scale so the whole
+harness finishes in minutes on a laptop; set ``REPRO_PAPER_SCALE=1`` to
+run the exact parameters of the paper (N = 100 000, 50 runs, 1000
+cycles — slow in pure Python, as the reproduction notes anticipate).
+
+Each benchmark prints its series (the same rows the paper's figure
+plots) and archives them under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def paper_scale() -> bool:
+    """Whether to run the exact paper-scale parameters."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for one scale regime."""
+
+    figure3a_sizes: tuple
+    figure3a_runs: int
+    figure3b_n: int
+    figure3b_runs: int
+    figure3b_cycles: int
+    figure4_mid: int
+    figure4_amplitude: int
+    figure4_fluctuation: int
+    figure4_cycles: int
+    figure4_epoch: int
+    rates_n: int
+    rates_runs: int
+    rates_cycles: int
+
+
+REDUCED = Scale(
+    figure3a_sizes=(100, 316, 1000, 3162, 10000),
+    figure3a_runs=10,
+    figure3b_n=10000,
+    figure3b_runs=3,
+    figure3b_cycles=30,
+    figure4_mid=3000,
+    figure4_amplitude=300,
+    figure4_fluctuation=3,
+    figure4_cycles=1000,
+    figure4_epoch=30,
+    rates_n=2000,
+    rates_runs=5,
+    rates_cycles=15,
+)
+
+PAPER = Scale(
+    figure3a_sizes=(100, 316, 1000, 3162, 10000, 31623, 100000),
+    figure3a_runs=50,
+    figure3b_n=100000,
+    figure3b_runs=50,
+    figure3b_cycles=30,
+    figure4_mid=100000,
+    figure4_amplitude=10000,
+    figure4_fluctuation=100,
+    figure4_cycles=1000,
+    figure4_epoch=30,
+    rates_n=10000,
+    rates_runs=50,
+    rates_cycles=20,
+)
+
+
+def scale() -> Scale:
+    """The active scale regime."""
+    return PAPER if paper_scale() else REDUCED
+
+
+def emit(name: str, text: str, capsys) -> None:
+    """Print a report to the live terminal and archive it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print()
+            print(text)
+    else:  # pragma: no cover - direct invocation
+        print(text)

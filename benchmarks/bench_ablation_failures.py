@@ -1,0 +1,138 @@
+"""Experiment A2 — failure ablation (message loss and crashes, §1.4).
+
+Measures, on the cycle-driven simulator:
+
+* per-cycle reduction rate as a function of symmetric message-loss
+  probability p (an exchange fails entirely with probability p), and
+* the converged-mean bias introduced by crashing a fraction of nodes
+  mid-run (mass departs with the crashed nodes),
+
+plus, on the event-driven simulator, the mean drift caused by
+*asymmetric* loss (push delivered, reply lost), which the synchronous
+model cannot express.
+
+Expected shape: the rate degrades smoothly toward 1 as p → 1 following
+the Bernoulli-thinned Theorem 1 prediction
+``rate(p) = (p + (1−p)/2)·exp(−(1−p)/2)`` (see
+:func:`repro.avg.theory.rate_seq_with_loss`); crash bias grows with the
+crashed fraction; asymmetric drift grows with p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.avg import RATE_SEQ, fit_geometric_rate, rate_seq_with_loss
+from repro.core import GossipNetwork
+from repro.rng import spawn_streams
+from repro.simulator import BernoulliLoss
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.topology import CompleteTopology
+
+from _common import emit, paper_scale
+
+N = 4000 if paper_scale() else 1000
+RUNS = 10 if paper_scale() else 4
+LOSS_LEVELS = (0.0, 0.05, 0.1, 0.2, 0.4)
+CRASH_FRACTIONS = (0.0, 0.1, 0.3, 0.5)
+
+
+def loss_rate_row(loss, seed):
+    rates = []
+    for rng in spawn_streams(seed, RUNS):
+        values = rng.normal(0.0, 1.0, N)
+        sim = CycleSimulator(
+            CompleteTopology(N), values, loss_probability=loss, seed=rng
+        )
+        result = sim.run(12)
+        rates.append(fit_geometric_rate(result.variance_array))
+    return float(np.mean(rates))
+
+
+def crash_bias_row(fraction, seed):
+    """|converged estimate − original true mean| when a fraction of
+    nodes crashes after one mixing cycle (their unmixed mass is lost)."""
+    biases = []
+    for rng in spawn_streams(seed, RUNS):
+        values = rng.normal(10.0, 4.0, N)
+        true_mean = float(values.mean())
+        sim = CycleSimulator(CompleteTopology(N), values, seed=rng)
+        sim.run(1)  # one mixing cycle before the failure
+        victims = rng.choice(N, size=int(N * fraction), replace=False)
+        sim.crash(victims.tolist())
+        sim.run(20)
+        biases.append(abs(sim.mean() - true_mean))
+    return float(np.mean(biases))
+
+
+def asymmetric_drift_row(loss, seed):
+    drifts = []
+    for rng in spawn_streams(seed, RUNS):
+        values = rng.normal(10.0, 4.0, 400)
+        net = GossipNetwork(
+            CompleteTopology(400), values, loss=BernoulliLoss(loss), seed=rng
+        )
+        net.run_cycles(15)
+        drifts.append(abs(net.approximations().mean() - net.true_mean()))
+    return float(np.mean(drifts))
+
+
+def compute_ablation():
+    loss_rows = [
+        (p, loss_rate_row(p, seed=300 + i)) for i, p in enumerate(LOSS_LEVELS)
+    ]
+    crash_rows = [
+        (f, crash_bias_row(f, seed=400 + i))
+        for i, f in enumerate(CRASH_FRACTIONS)
+    ]
+    drift_rows = [
+        (p, asymmetric_drift_row(p, seed=500 + i))
+        for i, p in enumerate((0.05, 0.2, 0.4))
+    ]
+    return loss_rows, crash_rows, drift_rows
+
+
+def render(loss_rows, crash_rows, drift_rows):
+    loss_table = Table(
+        headers=["loss prob", "per-cycle rate", "thinned-phi prediction"],
+        title=f"A2.1: symmetric message loss vs convergence rate, N={N}",
+    )
+    for p, rate in loss_rows:
+        loss_table.add_row(p, rate, rate_seq_with_loss(p))
+    crash_table = Table(
+        headers=["crashed fraction", "mean |bias| vs original true mean"],
+        title="A2.2: crash-induced estimate bias (crash after 1 cycle)",
+    )
+    for fraction, bias in crash_rows:
+        crash_table.add_row(fraction, bias)
+    drift_table = Table(
+        headers=["loss prob", "mean drift of network average"],
+        title="A2.3: asymmetric loss (event-driven): mass-conservation drift",
+    )
+    for p, drift in drift_rows:
+        drift_table.add_row(p, drift)
+    return "\n\n".join(
+        (loss_table.render(), crash_table.render(), drift_table.render())
+    )
+
+
+def test_ablation_failures(benchmark, capsys):
+    loss_rows, crash_rows, drift_rows = benchmark.pedantic(
+        compute_ablation, rounds=1, iterations=1
+    )
+    emit("ablation_failures", render(loss_rows, crash_rows, drift_rows), capsys)
+    # loss degrades the rate monotonically and roughly as p + (1-p)*rate
+    rates = [rate for _, rate in loss_rows]
+    assert all(b > a - 0.01 for a, b in zip(rates, rates[1:]))
+    for p, rate in loss_rows:
+        predicted = rate_seq_with_loss(p)
+        assert abs(rate - predicted) < 0.03
+    # crash bias grows with the crashed fraction
+    biases = [bias for _, bias in crash_rows]
+    assert biases[0] < 1e-9
+    assert biases[-1] > biases[1]
+    # asymmetric drift is nonzero and grows with loss
+    drifts = [drift for _, drift in drift_rows]
+    assert drifts[-1] > 0
+    assert drifts[-1] >= drifts[0] * 0.5

@@ -1,0 +1,97 @@
+"""Experiment A4 — the §5 "no performance peaks" claim.
+
+"Since φ is independent of location, there are no performance peaks,
+the costs are distributed very smoothly over the network."
+
+This bench measures the per-node communication count distribution over
+many cycles for SEQ and RAND on the overlays the paper assumes, plus
+the star topology as the designed counterexample (the hub participates
+in every exchange).
+
+Expected shape: on complete / k-regular overlays max/mean stays near 1
+(tight φ concentration, shrinking relatively as cycles accumulate); on
+the star the hub's load is ~N/2 times the leaf average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.avg import GetPairRand, GetPairSeq
+from repro.rng import make_rng
+from repro.topology import CompleteTopology, RandomRegularTopology, StarTopology
+
+from _common import emit, paper_scale
+
+N = 2000 if paper_scale() else 1000
+CYCLES = 30
+
+
+def load_distribution(selector, seed):
+    """Total per-node communication counts over CYCLES cycles."""
+    rng = make_rng(seed)
+    totals = np.zeros(selector.n, dtype=np.int64)
+    for _ in range(CYCLES):
+        pairs = selector.cycle_pairs(rng)
+        totals += selector.phi_counts(pairs)
+    return totals
+
+
+def compute_load():
+    cases = [
+        ("seq / complete", GetPairSeq(CompleteTopology(N))),
+        ("rand / complete", GetPairRand(CompleteTopology(N))),
+        ("seq / 20-regular", GetPairSeq(RandomRegularTopology(N, 20, seed=2))),
+        ("rand / 20-regular", GetPairRand(RandomRegularTopology(N, 20, seed=3))),
+        ("seq / star", GetPairSeq(StarTopology(N))),
+    ]
+    rows = []
+    for index, (name, selector) in enumerate(cases):
+        totals = load_distribution(selector, seed=700 + index)
+        mean = float(totals.mean())
+        rows.append(
+            (
+                name,
+                mean,
+                float(totals.max()),
+                float(totals.max()) / mean,
+                float(totals.std() / mean),
+            )
+        )
+    return rows
+
+
+def render(rows):
+    table = Table(
+        headers=[
+            "selector / topology",
+            "mean msgs/node",
+            "max msgs/node",
+            "max/mean",
+            "cv",
+        ],
+        title=(
+            f"A4: per-node communication load over {CYCLES} cycles, N={N} "
+            "(Section 5: 'no performance peaks')"
+        ),
+    )
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def test_ablation_load(benchmark, capsys):
+    rows = benchmark.pedantic(compute_load, rounds=1, iterations=1)
+    emit("ablation_load", render(rows), capsys)
+    by_name = {name: row for name, *row in rows}
+    # the paper's overlays: load is flat — no node carries even 2x the mean
+    for name in ("seq / complete", "rand / complete",
+                 "seq / 20-regular", "rand / 20-regular"):
+        mean, peak, ratio, cv = by_name[name]
+        assert mean == 2 * CYCLES  # every exchange touches two nodes
+        assert ratio < 2.0, name
+        assert cv < 0.2, name
+    # the star: the hub IS a performance peak
+    _, _, star_ratio, _ = by_name["seq / star"]
+    assert star_ratio > N / 10

@@ -1,0 +1,99 @@
+"""Experiment A1 — topology ablation (design choice 2, DESIGN.md).
+
+The paper assumes a fully connected or sufficiently random overlay and
+names "more realistic topologies" as future work (§5). This ablation
+measures the empirical per-cycle reduction rate of the practical
+protocol (GETPAIR_SEQ) across overlay families and view sizes:
+
+* random k-regular for k in {2, 5, 10, 20, 50} — how small can the view
+  be before convergence degrades?
+* Watts–Strogatz at several rewiring probabilities — how much
+  randomness does the protocol need?
+* ring lattice, Barabási–Albert, star, complete — structured extremes.
+
+Expected shape: k >= 5 random overlays and the complete graph are all
+within a few percent of 1/(2√e); the ring is drastically slower
+(diffusive mixing); WS interpolates with β; BA and star lie between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table, replicate
+from repro.avg import GetPairSeq, RATE_SEQ, ValueVector, run_avg
+from repro.topology import (
+    BarabasiAlbertTopology,
+    CompleteTopology,
+    RandomRegularTopology,
+    RingTopology,
+    StarTopology,
+    WattsStrogatzTopology,
+)
+
+from _common import emit, paper_scale
+
+N = 2000 if paper_scale() else 1000
+CYCLES = 15
+RUNS = 10 if paper_scale() else 4
+
+
+def measured_rate(topology, seed):
+    def one_run(rng):
+        vector = ValueVector.gaussian(topology.n, seed=rng)
+        result = run_avg(vector, GetPairSeq(topology), CYCLES, seed=rng)
+        return result.geometric_mean_reduction()
+
+    return float(np.mean(replicate(one_run, runs=RUNS, seed=seed).outputs))
+
+
+def build_topologies():
+    topologies = [("complete", CompleteTopology(N))]
+    for k in (2, 5, 10, 20, 50):
+        topologies.append(
+            (f"{k}-regular random", RandomRegularTopology(N, k, seed=k))
+        )
+    for beta in (0.0, 0.1, 0.5, 1.0):
+        topologies.append(
+            (f"watts-strogatz k=10 beta={beta}",
+             WattsStrogatzTopology(N, 10, beta, seed=17))
+        )
+    topologies.append(("ring k=2", RingTopology(N, 2)))
+    topologies.append(("barabasi-albert m=5",
+                       BarabasiAlbertTopology(N, 5, seed=23)))
+    topologies.append(("star", StarTopology(N)))
+    return topologies
+
+
+def compute_ablation():
+    rows = []
+    for index, (name, topology) in enumerate(build_topologies()):
+        rows.append((name, measured_rate(topology, seed=1000 + index)))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        headers=["topology", "per-cycle rate (seq)", "vs theory 0.303"],
+        title=f"A1: topology ablation, N={N}, GETPAIR_SEQ",
+    )
+    for name, rate in rows:
+        table.add_row(name, rate, rate / RATE_SEQ)
+    return table.render()
+
+
+def test_ablation_topology(benchmark, capsys):
+    rows = benchmark.pedantic(compute_ablation, rounds=1, iterations=1)
+    emit("ablation_topology", render(rows), capsys)
+    rates = dict(rows)
+    # the paper's regime: random overlays with a handful of neighbors
+    # already match the complete graph
+    for name in ("20-regular random", "50-regular random", "complete"):
+        assert abs(rates[name] - RATE_SEQ) / RATE_SEQ < 0.1, name
+    # structured topologies mix worse
+    assert rates["ring k=2"] > rates["20-regular random"] * 1.5
+    assert rates["star"] > rates["complete"]
+    # Watts-Strogatz improves monotonically-ish with rewiring
+    assert rates["watts-strogatz k=10 beta=1.0"] < rates[
+        "watts-strogatz k=10 beta=0.0"
+    ]

@@ -1,0 +1,96 @@
+"""Experiment F3A — Figure 3(a).
+
+Average variance reduction σ²₁/σ²₀ after ONE execution of AVG on a
+vector of uncorrelated values, as a function of network size, for
+GETPAIR_RAND and GETPAIR_SEQ on the complete and 20-regular random
+topologies. Theory lines: 1/e ≈ 0.368 (RAND) and 1/(2√e) ≈ 0.303 (SEQ).
+
+Paper shape: all four series are flat in N (size independence); RAND
+sits at ≈ 0.37, SEQ at ≈ 0.30; the 20-regular series are very slightly
+above their complete-graph counterparts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table, replicate
+from repro.avg import GetPairRand, GetPairSeq, RATE_RAND, RATE_SEQ, ValueVector, run_avg
+from repro.topology import CompleteTopology, RandomRegularTopology
+
+from _common import emit, scale
+
+
+def reduction_after_one_cycle(selector_factory, topology, runs, seed):
+    """Mean σ²₁/σ²₀ over independent runs (fresh values each run)."""
+
+    def one_run(rng):
+        vector = ValueVector.gaussian(topology.n, seed=rng)
+        result = run_avg(vector, selector_factory(topology), 1, seed=rng)
+        return result.cycles[0].reduction
+
+    return float(np.mean(replicate(one_run, runs=runs, seed=seed).outputs))
+
+
+def compute_figure3a():
+    cfg = scale()
+    rows = []
+    for n in cfg.figure3a_sizes:
+        complete = CompleteTopology(n)
+        regular = RandomRegularTopology(n, 20, seed=n) if n > 20 else None
+        row = {
+            "n": n,
+            "rand_complete": reduction_after_one_cycle(
+                GetPairRand, complete, cfg.figure3a_runs, seed=n + 1
+            ),
+            "seq_complete": reduction_after_one_cycle(
+                GetPairSeq, complete, cfg.figure3a_runs, seed=n + 2
+            ),
+        }
+        if regular is not None:
+            row["rand_regular"] = reduction_after_one_cycle(
+                GetPairRand, regular, cfg.figure3a_runs, seed=n + 3
+            )
+            row["seq_regular"] = reduction_after_one_cycle(
+                GetPairSeq, regular, cfg.figure3a_runs, seed=n + 4
+            )
+        rows.append(row)
+    return rows
+
+
+def render(rows):
+    table = Table(
+        headers=[
+            "network size",
+            "rand/complete",
+            "rand/20-reg",
+            "seq/complete",
+            "seq/20-reg",
+        ],
+        title=(
+            "Figure 3(a): variance reduction after one AVG execution "
+            f"(theory: rand 1/e={RATE_RAND:.3f}, seq 1/(2*sqrt(e))={RATE_SEQ:.3f})"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["n"],
+            row["rand_complete"],
+            row.get("rand_regular", float("nan")),
+            row["seq_complete"],
+            row.get("seq_regular", float("nan")),
+        )
+    return table.render()
+
+
+def test_figure3a(benchmark, capsys):
+    rows = benchmark.pedantic(compute_figure3a, rounds=1, iterations=1)
+    emit("figure3a", render(rows), capsys)
+    # shape assertions: near theory at every size, and flat in N
+    for row in rows:
+        assert abs(row["rand_complete"] - RATE_RAND) / RATE_RAND < 0.12
+        assert abs(row["seq_complete"] - RATE_SEQ) / RATE_SEQ < 0.12
+    rand_series = [row["rand_complete"] for row in rows]
+    seq_series = [row["seq_complete"] for row in rows]
+    assert max(rand_series) - min(rand_series) < 0.08  # size independence
+    assert max(seq_series) - min(seq_series) < 0.08

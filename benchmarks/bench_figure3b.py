@@ -1,0 +1,105 @@
+"""Experiment F3B — Figure 3(b).
+
+Average per-cycle variance reduction σ²ᵢ/σ²ᵢ₋₁ while ITERATING algorithm
+AVG (cycles 1..30) at a single large network size, for GETPAIR_RAND and
+GETPAIR_SEQ on the complete and 20-regular random topologies.
+
+Paper shape: the complete-topology series stay flat at their theoretical
+rates; the 20-regular series drift slightly upward over the cycles
+(correlation accumulates on the sparse overlay), more so for RAND than
+for SEQ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.avg import (
+    GetPairRand,
+    GetPairSeq,
+    RATE_RAND,
+    RATE_SEQ,
+    ValueVector,
+    run_avg,
+)
+from repro.rng import spawn_streams
+from repro.topology import CompleteTopology, RandomRegularTopology
+
+from _common import emit, scale
+
+
+def per_cycle_reductions(selector_factory, topology, cycles, runs, seed):
+    """Geometric-mean per-cycle ratio across runs, one value per cycle."""
+    all_ratios = []
+    for rng in spawn_streams(seed, runs):
+        vector = ValueVector.gaussian(topology.n, seed=rng)
+        result = run_avg(vector, selector_factory(topology), cycles, seed=rng)
+        all_ratios.append(result.reductions)
+    stacked = np.vstack(all_ratios)
+    return np.exp(np.nanmean(np.log(stacked), axis=0))
+
+
+def compute_figure3b():
+    cfg = scale()
+    n, cycles, runs = cfg.figure3b_n, cfg.figure3b_cycles, cfg.figure3b_runs
+    complete = CompleteTopology(n)
+    regular = RandomRegularTopology(n, 20, seed=90)
+    return {
+        "cycles": list(range(1, cycles + 1)),
+        "rand_complete": per_cycle_reductions(
+            GetPairRand, complete, cycles, runs, seed=91
+        ),
+        "rand_regular": per_cycle_reductions(
+            GetPairRand, regular, cycles, runs, seed=92
+        ),
+        "seq_complete": per_cycle_reductions(
+            GetPairSeq, complete, cycles, runs, seed=93
+        ),
+        "seq_regular": per_cycle_reductions(
+            GetPairSeq, regular, cycles, runs, seed=94
+        ),
+    }
+
+
+def render(series):
+    cfg = scale()
+    table = Table(
+        headers=[
+            "cycle",
+            "rand/complete",
+            "rand/20-reg",
+            "seq/complete",
+            "seq/20-reg",
+        ],
+        title=(
+            f"Figure 3(b): per-cycle variance reduction, N={cfg.figure3b_n} "
+            f"(theory: rand {RATE_RAND:.3f}, seq {RATE_SEQ:.3f})"
+        ),
+    )
+    for index, cycle in enumerate(series["cycles"]):
+        table.add_row(
+            cycle,
+            float(series["rand_complete"][index]),
+            float(series["rand_regular"][index]),
+            float(series["seq_complete"][index]),
+            float(series["seq_regular"][index]),
+        )
+    return table.render()
+
+
+def test_figure3b(benchmark, capsys):
+    series = benchmark.pedantic(compute_figure3b, rounds=1, iterations=1)
+    emit("figure3b", render(series), capsys)
+    # first ~15 cycles on the complete graph sit at the theory rates
+    # (later cycles of a finite run go noisy as variance hits float eps)
+    early = slice(0, 15)
+    rand_complete = np.nanmean(series["rand_complete"][early])
+    seq_complete = np.nanmean(series["seq_complete"][early])
+    assert abs(rand_complete - RATE_RAND) / RATE_RAND < 0.1
+    assert abs(seq_complete - RATE_SEQ) / RATE_SEQ < 0.1
+    # the sparse overlay converges no faster than the complete one
+    rand_regular = np.nanmean(series["rand_regular"][early])
+    seq_regular = np.nanmean(series["seq_regular"][early])
+    assert rand_regular > rand_complete - 0.02
+    assert seq_regular > seq_complete - 0.02

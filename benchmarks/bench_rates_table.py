@@ -1,0 +1,79 @@
+"""Experiment T1 — the paper's in-text convergence-rate comparison.
+
+§3.3 derives per-cycle variance reduction rates for all GETPAIR
+variants: PM = 1/4 (eq. 8), RAND = 1/e (eq. 10) and SEQ ≈ PMRAND =
+1/(2√e) (eq. 12). This bench measures each empirically and prints the
+implied table (empirical vs closed form).
+
+Paper shape: PM < PMRAND ≈ SEQ < RAND, each within a few percent of the
+prediction; SEQ comes out "slightly better than predicted" because the
+derivation substitutes PMRAND for SEQ (§3.3.3).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table, geometric_mean, replicate
+from repro.avg import (
+    GetPairPerfectMatching,
+    GetPairPMRand,
+    GetPairRand,
+    GetPairSeq,
+    ValueVector,
+    convergence_rate,
+    run_avg,
+)
+from repro.topology import CompleteTopology
+
+from _common import emit, scale
+
+SELECTORS = (
+    ("pm", GetPairPerfectMatching),
+    ("rand", GetPairRand),
+    ("seq", GetPairSeq),
+    ("pmrand", GetPairPMRand),
+)
+
+
+def measure_all_rates():
+    cfg = scale()
+    topology = CompleteTopology(cfg.rates_n)
+    rows = []
+    for name, factory in SELECTORS:
+        def one_run(rng, factory=factory):
+            vector = ValueVector.gaussian(topology.n, seed=rng)
+            result = run_avg(
+                vector, factory(topology), cfg.rates_cycles, seed=rng
+            )
+            return result.geometric_mean_reduction()
+
+        empirical = geometric_mean(
+            replicate(one_run, runs=cfg.rates_runs, seed=hash(name) % 2**31)
+            .outputs
+        )
+        rows.append((name, empirical, convergence_rate(name)))
+    return rows
+
+
+def render(rows):
+    cfg = scale()
+    table = Table(
+        headers=["getPair", "empirical rate", "theoretical rate", "ratio"],
+        title=(
+            "Table T1 (implied, Section 3.3): per-cycle variance reduction "
+            f"rates, N={cfg.rates_n}, complete topology"
+        ),
+    )
+    for name, empirical, theoretical in rows:
+        table.add_row(name, empirical, theoretical, empirical / theoretical)
+    return table.render()
+
+
+def test_rates_table(benchmark, capsys):
+    rows = benchmark.pedantic(measure_all_rates, rounds=1, iterations=1)
+    emit("rates_table", render(rows), capsys)
+    by_name = {name: empirical for name, empirical, _ in rows}
+    for name, empirical, theoretical in rows:
+        assert abs(empirical - theoretical) / theoretical < 0.06, name
+    # the §3.3.3 ordering: optimal < practical < random
+    assert by_name["pm"] < by_name["seq"] < by_name["rand"]
+    assert by_name["pm"] < by_name["pmrand"] < by_name["rand"]

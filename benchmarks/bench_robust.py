@@ -1,0 +1,71 @@
+"""Experiment A6 — robustness mechanisms of the companion TR [11].
+
+§4 points to UBLCS-2003-16 for fault-tolerance mechanisms; the central
+one is running t concurrent averaging instances and reporting the
+per-node MEDIAN. This bench quantifies the gain: mean estimate error
+after an early 25 % crash, as a function of t.
+
+Expected shape: error decreases (roughly with 1/√t noise-averaging,
+flattening at the common-bias floor) as t grows; t = 1 is the plain
+protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import RobustAverager
+from repro.rng import spawn_streams
+from repro.topology import CompleteTopology
+
+from _common import emit, paper_scale
+
+N = 2000 if paper_scale() else 800
+RUNS = 10 if paper_scale() else 5
+INSTANCE_COUNTS = (1, 3, 7, 15)
+CRASH_FRACTION = 0.25
+
+
+def crash_error(instances, seed):
+    errors = []
+    for rng in spawn_streams(seed, RUNS):
+        values = rng.normal(10.0, 4.0, N)
+        averager = RobustAverager(
+            CompleteTopology(N), values, instances=instances, seed=rng
+        )
+        averager.run(2)
+        victims = rng.choice(N, size=int(N * CRASH_FRACTION), replace=False)
+        averager.crash(victims.tolist())
+        result = averager.run(25)
+        errors.append(result.median_error)
+    return float(np.mean(errors))
+
+
+def compute_robust():
+    return [
+        (t, crash_error(t, seed=900 + index))
+        for index, t in enumerate(INSTANCE_COUNTS)
+    ]
+
+
+def render(rows):
+    table = Table(
+        headers=["instances t", "mean |error| after 25% crash"],
+        title=(
+            f"A6: median-of-t-instances robustness (TR [11] mechanism), "
+            f"N={N}, crash at cycle 2"
+        ),
+    )
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def test_robust_instances(benchmark, capsys):
+    rows = benchmark.pedantic(compute_robust, rounds=1, iterations=1)
+    emit("robust_instances", render(rows), capsys)
+    errors = dict(rows)
+    # more instances never hurt, and t=15 beats the plain protocol
+    assert errors[15] <= errors[1]
+    assert errors[7] <= errors[1] * 1.1

@@ -1,0 +1,91 @@
+"""Grid monitoring: several aggregates at once over a realistic stack.
+
+The paper's motivation (§1): "the identity of the most powerful peer in
+a grid or the total amount of free space in a distributed storage".
+This example runs the event-driven protocol (asynchronous activations,
+real message latency, 2 % message loss) over a 20-regular overlay and
+computes, via separate protocol instances and derived estimators:
+
+* the average free disk space          (AGGREGATE_AVG),
+* the maximum node capability          (AGGREGATE_MAX — epidemic flood),
+* the minimum node capability          (AGGREGATE_MIN),
+* the TOTAL free space                 (average x network size),
+* the VARIANCE of free space           (from first and second moments).
+
+Run:  python examples/grid_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    GossipNetwork,
+    MaxAggregate,
+    MinAggregate,
+    RandomRegularTopology,
+    estimate_sum,
+    estimate_variance_from_moments,
+)
+from repro.core.aggregates import moment_values
+from repro.simulator import BernoulliLoss, UniformLatency
+
+N = 2000
+CYCLES = 25
+
+
+def run_instance(topology, values, aggregate=None, seed=0):
+    """One protocol instance under latency and loss."""
+    network = GossipNetwork(
+        topology,
+        values,
+        aggregate=aggregate,
+        latency=UniformLatency(0.01, 0.05),  # delays << cycle length
+        loss=BernoulliLoss(0.02),
+        seed=seed,
+    )
+    network.run_cycles(CYCLES)
+    return network
+
+
+def main():
+    rng = np.random.default_rng(99)
+    topology = RandomRegularTopology(N, 20, seed=1)
+
+    free_space_gb = rng.lognormal(mean=4.0, sigma=0.8, size=N)
+    capability = rng.uniform(1.0, 100.0, size=N)
+
+    print(f"simulating {N} grid nodes, 20-regular overlay, "
+          f"{CYCLES} cycles, 2% message loss\n")
+
+    avg_net = run_instance(topology, free_space_gb, seed=10)
+    sq_net = run_instance(topology, moment_values(free_space_gb, 2), seed=11)
+    max_net = run_instance(topology, capability, MaxAggregate(), seed=12)
+    min_net = run_instance(topology, capability, MinAggregate(), seed=13)
+
+    # a typical node's view after convergence (node 0 here):
+    mean_est = avg_net.nodes[0].approximation
+    second_moment_est = sq_net.nodes[0].approximation
+    max_est = max_net.nodes[0].approximation
+    min_est = min_net.nodes[0].approximation
+
+    total_est = estimate_sum(mean_est, N)  # N known or from counting
+    var_est = estimate_variance_from_moments(mean_est, second_moment_est)
+
+    rows = [
+        ("average free space (GB)", mean_est, free_space_gb.mean()),
+        ("total free space (GB)", total_est, free_space_gb.sum()),
+        ("free-space std dev (GB)", np.sqrt(var_est), free_space_gb.std()),
+        ("max capability", max_est, capability.max()),
+        ("min capability", min_est, capability.min()),
+    ]
+    print(f"{'aggregate':<28}{'node-0 estimate':>18}{'ground truth':>16}"
+          f"{'rel. err':>10}")
+    for name, estimate, truth in rows:
+        rel = abs(estimate - truth) / abs(truth)
+        print(f"{name:<28}{estimate:>18.3f}{truth:>16.3f}{rel:>10.2%}")
+
+    print("\nmax/min floods are exact (epidemic broadcast); averaging-based")
+    print("estimates carry a small bias from the 2% asymmetric message loss.")
+
+
+if __name__ == "__main__":
+    main()

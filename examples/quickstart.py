@@ -1,0 +1,51 @@
+"""Quickstart: compute a network-wide average with anti-entropy gossip.
+
+Every node holds a private value (say, its CPU load). After a handful
+of gossip cycles every node's local approximation equals the global
+average — no coordinator, no spanning tree, no global knowledge.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CompleteTopology,
+    GetPairSeq,
+    RATE_SEQ,
+    ValueVector,
+    run_avg,
+)
+
+
+def main():
+    n = 1000
+    topology = CompleteTopology(n)
+
+    # each node starts with a private value; the network-wide truth:
+    vector = ValueVector.uniform(n, low=0.0, high=100.0, seed=7)
+    true_average = vector.mean
+    print(f"{n} nodes, true average = {true_average:.4f}")
+    print(f"initial variance across nodes = {vector.variance:.4f}\n")
+
+    # the practical protocol: every node contacts one random neighbor
+    # per cycle (GETPAIR_SEQ) and both adopt the pair's mean
+    result = run_avg(vector, GetPairSeq(topology), cycles=20, seed=42)
+
+    print("cycle   variance          reduction")
+    for stats in result.cycles[:10]:
+        print(f"{stats.cycle:>5}   {stats.variance_after:.6e}   "
+              f"{stats.reduction:.4f}")
+    print("  ...")
+    print(f"\ntheory predicts a per-cycle reduction of 1/(2*sqrt(e)) = "
+          f"{RATE_SEQ:.4f}")
+    print(f"measured geometric mean            = "
+          f"{result.geometric_mean_reduction():.4f}")
+
+    print(f"\nafter 20 cycles:")
+    print(f"  every node's estimate  = {vector.values.min():.6f} .. "
+          f"{vector.values.max():.6f}")
+    print(f"  true average           = {true_average:.6f}")
+    print(f"  worst node error       = {vector.max_error():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Network size estimation in a churning P2P overlay (the paper's §4).
+
+A tracker-less file-sharing network wants every peer to know roughly
+how many peers are online, continuously, even as peers come and go on
+a day/night cycle. One peer per epoch seeds a counting instance with
+value 1 (everyone else starts at 0); averaging drives every node's
+value to 1/N, and the protocol restarts every epoch so the estimate
+adapts.
+
+Run:  python examples/size_estimation.py
+"""
+
+from repro import (
+    OscillatingChurn,
+    SizeEstimationConfig,
+    SizeEstimationExperiment,
+)
+
+
+def main():
+    # a 10 000-peer swarm whose size swings ±10 % over a "day", with
+    # 10 peers joining and 10 leaving every cycle on top
+    config = SizeEstimationConfig(
+        cycles=600,
+        cycles_per_epoch=30,
+        initial_size=10_000,
+        expected_leaders=1.0,
+        seed=2004,
+    )
+    churn = OscillatingChurn(
+        mid=10_000, amplitude=1_000, period=300, fluctuation=10
+    )
+
+    experiment = SizeEstimationExperiment(config, churn=churn)
+    experiment.run()
+
+    print("epoch  end    actual@start   estimate (min .. max)        error")
+    for report in experiment.reports:
+        print(
+            f"{report.epoch:>5}  {report.end_cycle:>4}   "
+            f"{report.size_at_start:>10}   "
+            f"{report.estimate_mean:>9.1f} "
+            f"({report.estimate_min:>9.1f} .. {report.estimate_max:>9.1f})  "
+            f"{report.relative_error:>7.3%}"
+        )
+
+    errors = [r.relative_error for r in experiment.reports]
+    print(f"\nmean relative error across epochs: "
+          f"{sum(errors) / len(errors):.3%}")
+    print("note: each estimate describes the size at its epoch's START —")
+    print("the curve tracks the real size translated by one epoch (Fig 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Experiment harness: statistics, multi-seed runners and reporting."""
+
+from .stats import (
+    SeriesSummary,
+    summarize,
+    confidence_interval,
+    geometric_mean,
+)
+from .runner import replicate, sweep, ReplicateResult
+from .reporting import format_table, format_series, Table
+from .validation import (
+    chi_square_statistic,
+    chi_square_critical,
+    poisson_fit_ok,
+)
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_critical",
+    "poisson_fit_ok",
+    "SeriesSummary",
+    "summarize",
+    "confidence_interval",
+    "geometric_mean",
+    "replicate",
+    "sweep",
+    "ReplicateResult",
+    "format_table",
+    "format_series",
+    "Table",
+]

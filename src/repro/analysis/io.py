@@ -1,0 +1,75 @@
+"""Result serialization: write experiment outputs to JSON and CSV.
+
+Benchmarks archive plain-text tables; downstream users typically want
+machine-readable artifacts too. These helpers write (and read back)
+simple row-oriented result sets with no dependencies beyond the
+standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from ..errors import ConfigurationError
+
+PathLike = Union[str, Path]
+Row = Dict[str, Any]
+
+
+def _validate_rows(rows: Sequence[Row]) -> List[str]:
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    fieldnames = list(rows[0].keys())
+    expected = set(fieldnames)
+    for index, row in enumerate(rows):
+        if set(row.keys()) != expected:
+            raise ConfigurationError(
+                f"row {index} has fields {sorted(row.keys())}, "
+                f"expected {sorted(expected)}"
+            )
+    return fieldnames
+
+
+def write_json(path: PathLike, rows: Sequence[Row], *,
+               metadata: Dict[str, Any] | None = None) -> None:
+    """Write rows (plus optional run metadata) as a JSON document."""
+    _validate_rows(rows)
+    document = {"metadata": metadata or {}, "rows": list(rows)}
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def read_json(path: PathLike) -> Dict[str, Any]:
+    """Read a document written by :func:`write_json`."""
+    document = json.loads(Path(path).read_text())
+    if "rows" not in document:
+        raise ConfigurationError(f"{path} is not a repro result document")
+    return document
+
+
+def write_csv(path: PathLike, rows: Sequence[Row]) -> None:
+    """Write rows as CSV with a header line."""
+    fieldnames = _validate_rows(rows)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def read_csv(path: PathLike) -> List[Row]:
+    """Read a CSV written by :func:`write_csv`; numeric strings are
+    converted back to int/float where possible."""
+    with open(path, newline="") as handle:
+        raw_rows = list(csv.DictReader(handle))
+
+    def convert(text: str) -> Any:
+        for cast in (int, float):
+            try:
+                return cast(text)
+            except ValueError:
+                continue
+        return text
+
+    return [{k: convert(v) for k, v in row.items()} for row in raw_rows]

@@ -1,0 +1,81 @@
+"""Plain-text reporting for benchmark harnesses.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers render them as aligned ASCII tables so `pytest
+benchmarks/ --benchmark-only` output is directly comparable to the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from ..errors import ConfigurationError
+
+Cell = Union[str, float, int]
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A small column-aligned table builder."""
+
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_render_cell(c) for c in cells])
+
+    def render(self) -> str:
+        """The aligned ASCII rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Cell]]
+) -> str:
+    """One-shot table rendering."""
+    table = Table(headers=list(headers), title=title)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def format_series(
+    title: str, xs: Sequence[Cell], ys: Sequence[Cell], *, x_name: str = "x",
+    y_name: str = "y"
+) -> str:
+    """Render a single (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"series length mismatch: {len(xs)} xs vs {len(ys)} ys"
+        )
+    return format_table(title, [x_name, y_name], list(zip(xs, ys)))

@@ -1,0 +1,71 @@
+"""Multi-seed replication and parameter sweeps.
+
+Experiments in the paper are "averages over 50 independent runs";
+:func:`replicate` runs an experiment function once per independent seed
+stream and collects the outputs, and :func:`sweep` crosses that with a
+parameter axis (e.g. network size for Figure 3(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, spawn_streams
+
+
+@dataclass
+class ReplicateResult:
+    """Outputs of replicated runs of one experiment configuration."""
+
+    outputs: List[Any] = field(default_factory=list)
+
+    def as_array(self) -> np.ndarray:
+        """Stack scalar or array outputs into a numpy array."""
+        return np.asarray(self.outputs)
+
+
+def replicate(
+    experiment: Callable[[np.random.Generator], Any],
+    *,
+    runs: int,
+    seed: SeedLike = None,
+) -> ReplicateResult:
+    """Run ``experiment`` once per independent RNG stream.
+
+    ``experiment`` receives a dedicated generator; its return values are
+    collected in order.
+    """
+    if runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs}")
+    result = ReplicateResult()
+    for rng in spawn_streams(seed, runs):
+        result.outputs.append(experiment(rng))
+    return result
+
+
+def sweep(
+    experiment: Callable[[Any, np.random.Generator], Any],
+    parameters: Sequence[Any],
+    *,
+    runs: int,
+    seed: SeedLike = None,
+) -> Dict[Any, ReplicateResult]:
+    """Replicate ``experiment`` over every value of a parameter axis.
+
+    Each parameter point gets its own independent seed streams, so
+    adding points never perturbs existing ones.
+    """
+    if len(parameters) == 0:
+        raise ConfigurationError("parameter axis is empty")
+    outcomes: Dict[Any, ReplicateResult] = {}
+    point_seeds = spawn_streams(seed, len(parameters))
+    for parameter, point_rng in zip(parameters, point_seeds):
+        result = ReplicateResult()
+        for rng in spawn_streams(point_rng, runs):
+            result.outputs.append(experiment(parameter, rng))
+        outcomes[parameter] = result
+    return outcomes

@@ -1,0 +1,116 @@
+"""Statistical validation helpers.
+
+Lightweight goodness-of-fit machinery (no scipy dependency) used by the
+test suite to check the paper's *distributional* claims — e.g. that
+GETPAIR_RAND's φ really is Poisson(2) — rather than just moments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def chi_square_statistic(
+    observed_counts: Sequence[float], expected_probabilities: Sequence[float]
+) -> float:
+    """Pearson χ² statistic, pooling the tail so every expected bin ≥ 5.
+
+    ``observed_counts[k]`` is how many samples equal k;
+    ``expected_probabilities[k]`` the model pmf. Both are pooled from
+    the right until the smallest expected bin is at least 5 counts.
+    """
+    observed = np.asarray(observed_counts, dtype=np.float64)
+    probabilities = np.asarray(expected_probabilities, dtype=np.float64)
+    if observed.ndim != 1 or probabilities.ndim != 1:
+        raise ConfigurationError("expected 1-D count and probability arrays")
+    size = max(len(observed), len(probabilities))
+    observed = np.pad(observed, (0, size - len(observed)))
+    probabilities = np.pad(probabilities, (0, size - len(probabilities)))
+    total = observed.sum()
+    if total <= 0:
+        raise ConfigurationError("no observations")
+    remaining = 1.0 - probabilities.sum()
+    if remaining > 1e-12:
+        probabilities[-1] += remaining  # absorb the truncated tail
+    expected = probabilities * total
+    # pool small-expectation bins from the right
+    while len(expected) > 2 and expected[-1] < 5:
+        expected[-2] += expected[-1]
+        observed[-2] += observed[-1]
+        expected = expected[:-1]
+        observed = observed[:-1]
+    positive = expected > 0
+    return float(((observed[positive] - expected[positive]) ** 2
+                  / expected[positive]).sum())
+
+
+def chi_square_critical(degrees: int, *, alpha: float = 0.01) -> float:
+    """Approximate χ² critical value via the Wilson–Hilferty transform.
+
+    Accurate to a few percent for degrees ≥ 3 — ample for pass/fail
+    tests at α = 0.01/0.001.
+    """
+    if degrees < 1:
+        raise ConfigurationError(f"degrees must be >= 1, got {degrees}")
+    z = _normal_quantile(1.0 - alpha)
+    h = 2.0 / (9.0 * degrees)
+    return float(degrees * (1.0 - h + z * math.sqrt(h)) ** 3)
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's rational approximation to the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"p must be in (0, 1), got {p}")
+    # coefficients for the central and tail regions
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+def poisson_fit_ok(
+    samples: Sequence[int], lam: float, *, alpha: float = 0.001,
+    shift: int = 0,
+) -> bool:
+    """Whether integer ``samples`` are consistent with ``shift +
+    Poisson(lam)`` by a pooled χ² test at level ``alpha``."""
+    samples = np.asarray(samples, dtype=np.int64) - shift
+    if np.any(samples < 0):
+        return False
+    max_k = int(samples.max()) + 1
+    observed = np.bincount(samples, minlength=max_k)
+    probabilities = np.array(
+        [math.exp(k * math.log(lam) - lam - math.lgamma(k + 1)) if lam > 0
+         else float(k == 0)
+         for k in range(max_k)]
+    )
+    statistic = chi_square_statistic(observed, probabilities)
+    # pooled bin count is implicit; use a conservative df = bins - 1
+    pooled_bins = max(
+        2, int(min(max_k, max(3, (probabilities * len(samples) >= 5).sum())))
+    )
+    critical = chi_square_critical(pooled_bins - 1, alpha=alpha)
+    return statistic <= critical

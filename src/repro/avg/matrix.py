@@ -1,0 +1,92 @@
+"""Linear-algebra view of algorithm AVG.
+
+Each elementary step ``a_i = a_j = (a_i + a_j)/2`` is multiplication by
+the elementary averaging matrix ``W(i,j)`` (identity except rows/cols
+i, j, where it is the 2×2 block of 1/2s); a whole cycle is the product
+of its N step matrices. This module materializes those matrices for
+*small* networks so tests can verify, independently of the stochastic
+machinery, that
+
+* every cycle matrix is doubly stochastic (mass conservation +
+  stability),
+* the variance reduction of a cycle equals the induced contraction of
+  the centered subspace, and
+* the expected spectral behavior matches Theorem 1's E(2^{-φ}) on
+  average.
+
+This is deliberately O(N²) — a verification tool, not a simulation
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def elementary_matrix(n: int, i: int, j: int) -> np.ndarray:
+    """The averaging matrix W(i,j) of one elementary step."""
+    if not (0 <= i < n and 0 <= j < n):
+        raise ConfigurationError(f"indices ({i}, {j}) outside range [0, {n})")
+    if i == j:
+        raise ConfigurationError("elementary matrix needs distinct indices")
+    matrix = np.eye(n)
+    matrix[i, i] = matrix[j, j] = 0.5
+    matrix[i, j] = matrix[j, i] = 0.5
+    return matrix
+
+
+def cycle_matrix(n: int, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """The product matrix of a whole cycle's pair sequence.
+
+    Applying pairs in order p₁, p₂, …, p_N to a vector equals
+    ``W(p_N) ··· W(p_1) · a``, so later steps multiply on the left.
+    """
+    matrix = np.eye(n)
+    for i, j in pairs:
+        matrix = elementary_matrix(n, int(i), int(j)) @ matrix
+    return matrix
+
+
+def is_doubly_stochastic(matrix: np.ndarray, *, tolerance: float = 1e-9) -> bool:
+    """Rows and columns sum to 1 and entries are non-negative."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError("expected a square matrix")
+    if np.any(matrix < -tolerance):
+        return False
+    ones = np.ones(matrix.shape[0])
+    return bool(
+        np.allclose(matrix @ ones, ones, atol=tolerance)
+        and np.allclose(matrix.T @ ones, ones, atol=tolerance)
+    )
+
+
+def contraction_coefficient(matrix: np.ndarray) -> float:
+    """Worst-case variance contraction of one cycle matrix.
+
+    For doubly stochastic W the empirical variance of ``W a`` is at most
+    ``λ²`` times that of ``a``, where λ is the second-largest singular
+    value of W (the largest on the centered subspace ``1⊥``). Returns λ².
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError("expected a square matrix")
+    n = matrix.shape[0]
+    centering = np.eye(n) - np.ones((n, n)) / n
+    centered = centering @ matrix @ centering
+    singular_values = np.linalg.svd(centered, compute_uv=False)
+    return float(singular_values[0] ** 2)
+
+
+def realized_reduction(matrix: np.ndarray, vector: np.ndarray) -> float:
+    """The actual σ²(W a)/σ²(a) for one concrete vector."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1 or len(vector) != matrix.shape[0]:
+        raise ConfigurationError("vector length must match matrix size")
+    before = vector.var(ddof=1)
+    if before == 0:
+        raise ConfigurationError("input vector has zero variance")
+    after = (matrix @ vector).var(ddof=1)
+    return float(after / before)

@@ -1,0 +1,188 @@
+"""GETPAIR implementations (§3.3 of the paper).
+
+Algorithm AVG (Figure 2) performs ``N`` elementary variance-reduction
+steps per cycle, with pairs supplied by a selector:
+
+* :class:`GetPairPerfectMatching` — §3.3.1, the optimal but artificial
+  strategy: two disjoint perfect matchings per cycle, ``φ ≡ 2``,
+  rate 1/4.
+* :class:`GetPairRand` — §3.3.2, a uniformly random edge per call,
+  ``φ ~ Poisson(2)``, rate 1/e.
+* :class:`GetPairSeq` — §3.3.3, the practical protocol: iterate nodes in
+  a fixed order, each picking a random neighbor, ``φ = 1 + Poisson(1)``
+  (via the PMRAND argument), rate 1/(2√e).
+* :class:`GetPairPMRand` — the analysis device of §3.3.3 that combines a
+  PM half-cycle with a RAND half-cycle and has the same φ distribution
+  as SEQ.
+
+All selectors are *value-blind*: the pair sequence of a whole cycle can
+be (and is) generated up front, which enables the vectorized draws used
+at paper scale. Each selector exposes :meth:`cycle_pairs` returning an
+``(N, 2)`` array of index pairs — one cycle's worth of GETPAIR calls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import PairSelectionError
+from ..topology.base import AdjacencyTopology, Topology
+from ..topology.complete import CompleteTopology
+
+
+class PairSelector(ABC):
+    """Produces the per-cycle pair sequence consumed by algorithm AVG."""
+
+    #: short identifier used in experiment reports
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """The overlay the pairs are drawn from."""
+        return self._topology
+
+    @property
+    def n(self) -> int:
+        """Network size."""
+        return self._topology.n
+
+    @abstractmethod
+    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
+        """The ``(calls, 2)`` pair sequence for one cycle of AVG.
+
+        Every row is an ``(i, j)`` pair with ``i != j`` and, for sparse
+        topologies, ``(i, j)`` an edge of the overlay. The number of
+        calls per cycle is ``N`` for every selector in the paper.
+        """
+
+    def phi_counts(self, pairs: np.ndarray) -> np.ndarray:
+        """Per-node selection counts φ_k for a cycle's pair sequence."""
+        counts = np.bincount(pairs.ravel(), minlength=self.n)
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"
+
+
+def _two_disjoint_matchings(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Two edge-disjoint perfect matchings over ``n`` (even) labels.
+
+    A random permutation ``p`` yields matching 1 as consecutive pairs
+    ``(p[0],p[1]), (p[2],p[3]) …`` and matching 2 as the shifted pairs
+    ``(p[1],p[2]), …, (p[n-1],p[0])`` — the two alternating edge classes
+    of a Hamiltonian cycle, hence disjoint by construction.
+    """
+    p = rng.permutation(n)
+    first = p.reshape(-1, 2)
+    second = np.column_stack((p[1::2], np.concatenate((p[2::2], p[:1]))))
+    return np.vstack((first, second))
+
+
+class GetPairPerfectMatching(PairSelector):
+    """GETPAIR_PM (§3.3.1): two disjoint perfect matchings per cycle.
+
+    Only supported on the complete topology: the strategy "requires
+    global knowledge of the system" and serves purely as the optimal
+    reference. ``N`` must be even so a perfect matching exists.
+    """
+
+    name = "pm"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        if not isinstance(topology, CompleteTopology):
+            raise PairSelectionError(
+                "GETPAIR_PM requires the complete topology (global knowledge)"
+            )
+        if topology.n % 2 != 0:
+            raise PairSelectionError(
+                f"perfect matching needs an even node count, got {topology.n}"
+            )
+
+    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
+        return _two_disjoint_matchings(self.n, rng)
+
+
+class GetPairRand(PairSelector):
+    """GETPAIR_RAND (§3.3.2): each call returns a uniformly random edge.
+
+    On the complete graph this is a uniform distinct pair; on sparse
+    overlays a uniform draw from the edge list. φ is (approximately)
+    Poisson with parameter 2.
+    """
+
+    name = "rand"
+
+    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
+        n = self.n
+        if isinstance(self._topology, CompleteTopology):
+            first = rng.integers(0, n, size=n)
+            offset = rng.integers(0, n - 1, size=n)
+            second = offset + (offset >= first)
+            return np.column_stack((first, second))
+        if isinstance(self._topology, AdjacencyTopology):
+            edge_array = self._topology.edge_array()
+            if len(edge_array) == 0:
+                raise PairSelectionError("topology has no edges to sample")
+            picks = rng.integers(0, len(edge_array), size=n)
+            return edge_array[picks].copy()
+        pairs = np.empty((n, 2), dtype=np.int64)
+        for call in range(n):
+            pairs[call] = self._topology.random_edge(rng)
+        return pairs
+
+
+class GetPairSeq(PairSelector):
+    """GETPAIR_SEQ (§3.3.3): iterate the node set in a fixed order, each
+    node picking a uniformly random neighbor.
+
+    This is the selector that maps onto the practical distributed
+    protocol of Figure 1: every node initiates exactly once per cycle,
+    so ``φ = 1 + φ'`` with ``φ' ≈ Poisson(1)``.
+    """
+
+    name = "seq"
+
+    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
+        initiators = np.arange(self.n, dtype=np.int64)
+        partners = self._topology.random_neighbor_array(initiators, rng)
+        return np.column_stack((initiators, partners))
+
+
+class GetPairPMRand(PairSelector):
+    """GETPAIR_PMRAND (§3.3.3): PM for the first N/2 calls of a cycle,
+    RAND for the remaining N/2.
+
+    A non-practical analysis device: it satisfies Theorem 1's
+    assumptions while sharing SEQ's φ distribution (1 + Poisson(1)),
+    which is how the paper derives SEQ's 1/(2√e) rate. Requires the
+    complete topology and even N, like PM.
+    """
+
+    name = "pmrand"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        if not isinstance(topology, CompleteTopology):
+            raise PairSelectionError(
+                "GETPAIR_PMRAND requires the complete topology"
+            )
+        if topology.n % 2 != 0:
+            raise PairSelectionError(
+                f"perfect matching needs an even node count, got {topology.n}"
+            )
+
+    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
+        n = self.n
+        p = rng.permutation(n)
+        matching = p.reshape(-1, 2)  # N/2 PM calls
+        first = rng.integers(0, n, size=n - n // 2)
+        offset = rng.integers(0, n - 1, size=n - n // 2)
+        second = offset + (offset >= first)
+        random_half = np.column_stack((first, second))
+        return np.vstack((matching, random_half))

@@ -1,0 +1,174 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro rates                 # T1: the §3.3 rate table
+    python -m repro figure3a              # Figure 3(a) series
+    python -m repro figure4 --cycles 300  # Figure 4, scaled
+    python -m repro monitor --n 2000      # AggregationService demo
+
+Each subcommand prints the same rows the corresponding benchmark
+archives, with small default sizes so it completes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import Table, replicate
+from .avg import (
+    GetPairPerfectMatching,
+    GetPairPMRand,
+    GetPairRand,
+    GetPairSeq,
+    ValueVector,
+    convergence_rate,
+    run_avg,
+)
+from .core import SizeEstimationConfig, SizeEstimationExperiment
+from .core.service import AggregationService
+from .failures import OscillatingChurn
+from .topology import CompleteTopology, RandomRegularTopology
+
+_SELECTORS = {
+    "pm": GetPairPerfectMatching,
+    "rand": GetPairRand,
+    "seq": GetPairSeq,
+    "pmrand": GetPairPMRand,
+}
+
+
+def _cmd_rates(args: argparse.Namespace) -> int:
+    topology = CompleteTopology(args.n)
+    table = Table(
+        headers=["getPair", "empirical", "theory"],
+        title=f"Per-cycle variance reduction rates, N={args.n}",
+    )
+    for name, factory in _SELECTORS.items():
+        def one_run(rng, factory=factory):
+            vector = ValueVector.gaussian(args.n, seed=rng)
+            return run_avg(
+                vector, factory(topology), args.cycles, seed=rng
+            ).geometric_mean_reduction()
+
+        rates = replicate(one_run, runs=args.runs, seed=1).outputs
+        table.add_row(name, float(np.mean(rates)), convergence_rate(name))
+    print(table.render())
+    return 0
+
+
+def _cmd_figure3a(args: argparse.Namespace) -> int:
+    table = Table(
+        headers=["N", "rand/complete", "seq/complete"],
+        title="Figure 3(a): variance reduction after one AVG execution",
+    )
+    for n in (100, 316, 1000, 3162):
+        topology = CompleteTopology(n)
+        row = [n]
+        for factory in (GetPairRand, GetPairSeq):
+            def one_run(rng, factory=factory):
+                vector = ValueVector.gaussian(n, seed=rng)
+                return run_avg(
+                    vector, factory(topology), 1, seed=rng
+                ).cycles[0].reduction
+
+            row.append(
+                float(np.mean(replicate(one_run, runs=args.runs, seed=n).outputs))
+            )
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    config = SizeEstimationConfig(
+        cycles=args.cycles,
+        cycles_per_epoch=30,
+        initial_size=args.n,
+        seed=args.seed,
+    )
+    churn = OscillatingChurn(
+        args.n, args.n // 10, period=max(args.cycles // 2, 2),
+        fluctuation=max(args.n // 1000, 1),
+    )
+    experiment = SizeEstimationExperiment(config, churn=churn)
+    experiment.run()
+    table = Table(
+        headers=["end cycle", "actual@start", "estimate", "rel. error"],
+        title="Figure 4: size estimation under churn",
+    )
+    for report in experiment.reports:
+        table.add_row(
+            report.end_cycle,
+            report.size_at_start,
+            report.estimate_mean,
+            report.relative_error,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    topology = RandomRegularTopology(args.n, 20, seed=args.seed)
+    values = rng.lognormal(3.0, 0.7, args.n)
+    service = AggregationService(topology, values, seed=args.seed)
+    report = service.run(cycles=args.cycles)
+    table = Table(
+        headers=["aggregate", "estimate", "ground truth"],
+        title=f"AggregationService over a 20-regular overlay, N={args.n}",
+    )
+    table.add_row("mean", report.mean, float(values.mean()))
+    table.add_row("max", report.maximum, float(values.max()))
+    table.add_row("min", report.minimum, float(values.min()))
+    table.add_row("network size", report.network_size, args.n)
+    table.add_row("total", report.total, float(values.sum()))
+    table.add_row("value variance", report.value_variance, float(values.var()))
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Anti-entropy aggregation (Jelasity & Montresor 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rates = sub.add_parser("rates", help="the Section 3.3 rate table")
+    rates.add_argument("--n", type=int, default=1000)
+    rates.add_argument("--runs", type=int, default=5)
+    rates.add_argument("--cycles", type=int, default=12)
+    rates.set_defaults(func=_cmd_rates)
+
+    f3a = sub.add_parser("figure3a", help="Figure 3(a) series")
+    f3a.add_argument("--runs", type=int, default=8)
+    f3a.set_defaults(func=_cmd_figure3a)
+
+    f4 = sub.add_parser("figure4", help="Figure 4, scaled")
+    f4.add_argument("--n", type=int, default=2000)
+    f4.add_argument("--cycles", type=int, default=300)
+    f4.add_argument("--seed", type=int, default=4)
+    f4.set_defaults(func=_cmd_figure4)
+
+    monitor = sub.add_parser("monitor", help="AggregationService demo")
+    monitor.add_argument("--n", type=int, default=1000)
+    monitor.add_argument("--cycles", type=int, default=30)
+    monitor.add_argument("--seed", type=int, default=9)
+    monitor.set_defaults(func=_cmd_monitor)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

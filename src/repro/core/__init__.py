@@ -1,0 +1,84 @@
+"""The paper's primary contribution: anti-entropy aggregation.
+
+This package implements the protocol of Figure 1 (push-pull exchange of
+aggregate approximations), the aggregate functions of §1.1, the
+epoch/restart machinery of §4 and the network-size estimation service
+built on top of it.
+"""
+
+from .aggregates import (
+    AggregateFunction,
+    MeanAggregate,
+    MaxAggregate,
+    MinAggregate,
+    GeometricMeanAggregate,
+    estimate_network_size,
+    estimate_sum,
+    estimate_variance_from_moments,
+    moment_values,
+)
+from .protocol import (
+    AggregationNode,
+    PushMessage,
+    ReplyMessage,
+    WaitingTimeStrategy,
+    ConstantWaiting,
+    ExponentialWaiting,
+)
+from .network import GossipNetwork
+from .epoch import EpochSchedule
+from .size_estimation import (
+    SizeEstimationConfig,
+    SizeEstimationExperiment,
+    EpochReport,
+)
+from .multi import MultiAggregateState, combine_multi
+from .broadcast import (
+    PushPullBroadcast,
+    expected_rounds_push,
+    expected_rounds_push_pull,
+    spread_trajectory_deterministic,
+)
+from .service import AggregationReport, AggregationService
+from .robust import RobustAverager, RobustRunResult
+from .epoch_protocol import (
+    EpochGossipNetwork,
+    EpochAggregationNode,
+    EpochOutput,
+)
+
+__all__ = [
+    "EpochGossipNetwork",
+    "EpochAggregationNode",
+    "EpochOutput",
+    "RobustAverager",
+    "RobustRunResult",
+    "PushPullBroadcast",
+    "expected_rounds_push",
+    "expected_rounds_push_pull",
+    "spread_trajectory_deterministic",
+    "AggregationReport",
+    "AggregationService",
+    "AggregateFunction",
+    "MeanAggregate",
+    "MaxAggregate",
+    "MinAggregate",
+    "GeometricMeanAggregate",
+    "estimate_network_size",
+    "estimate_sum",
+    "estimate_variance_from_moments",
+    "moment_values",
+    "AggregationNode",
+    "PushMessage",
+    "ReplyMessage",
+    "WaitingTimeStrategy",
+    "ConstantWaiting",
+    "ExponentialWaiting",
+    "GossipNetwork",
+    "EpochSchedule",
+    "SizeEstimationConfig",
+    "SizeEstimationExperiment",
+    "EpochReport",
+    "MultiAggregateState",
+    "combine_multi",
+]

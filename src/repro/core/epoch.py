@@ -1,0 +1,79 @@
+"""Epoch / restart machinery (§4).
+
+To make aggregation adaptive the paper divides execution into
+consecutive *epochs* of a fixed number of cycles; each epoch restarts
+the protocol from the current attribute values and messages are tagged
+with a monotonically increasing epoch identifier. Joining nodes receive
+the next epoch id and wait for it; any node seeing a higher epoch id
+switches immediately (epoch starts spread epidemically).
+
+:class:`EpochSchedule` is the simulator-agnostic bookkeeping shared by
+the cycle-driven experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """Maps global cycle numbers to epochs.
+
+    Parameters
+    ----------
+    cycles_per_epoch:
+        The epoch length k — chosen from the §3 convergence rates so
+        the protocol converges to the required accuracy within an epoch
+        (e.g. rate^k below the target error).
+    """
+
+    cycles_per_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_epoch < 1:
+            raise ConfigurationError(
+                f"cycles_per_epoch must be >= 1, got {self.cycles_per_epoch}"
+            )
+
+    def epoch_of(self, cycle: int) -> int:
+        """The epoch id active during global ``cycle`` (0-based)."""
+        if cycle < 0:
+            raise ConfigurationError(f"cycle must be non-negative, got {cycle}")
+        return cycle // self.cycles_per_epoch
+
+    def is_epoch_start(self, cycle: int) -> bool:
+        """True when ``cycle`` is the first cycle of an epoch."""
+        if cycle < 0:
+            raise ConfigurationError(f"cycle must be non-negative, got {cycle}")
+        return cycle % self.cycles_per_epoch == 0
+
+    def epoch_start_cycle(self, epoch: int) -> int:
+        """First global cycle of ``epoch``."""
+        if epoch < 0:
+            raise ConfigurationError(f"epoch must be non-negative, got {epoch}")
+        return epoch * self.cycles_per_epoch
+
+    def cycles_until_next_epoch(self, cycle: int) -> int:
+        """How many cycles remain before the next epoch starts.
+
+        This is the quantity an existing node hands to a joining node
+        ("the amount of time left until the next run starts", §4).
+        """
+        if cycle < 0:
+            raise ConfigurationError(f"cycle must be non-negative, got {cycle}")
+        return self.cycles_per_epoch - (cycle % self.cycles_per_epoch)
+
+    @staticmethod
+    def adopt(current_epoch: int, seen_epoch: int) -> int:
+        """Epoch adoption rule: switch immediately to any higher id."""
+        return max(current_epoch, seen_epoch)
+
+    def required_epoch_length(self, rate: float, accuracy: float) -> int:
+        """Minimum k with ``rate**k <= accuracy`` — the §4 guidance for
+        choosing the epoch length from a §3 convergence rate."""
+        from ..avg.theory import cycles_to_reduce
+
+        return cycles_to_reduce(accuracy, rate)

@@ -1,0 +1,365 @@
+"""The §4 epoch/restart mechanism on the event-driven simulator.
+
+The cycle-driven implementation (:mod:`repro.core.size_estimation`)
+realizes epochs with a global cycle counter. This module implements the
+mechanism exactly as the paper *describes* it for a real deployment:
+
+* execution is divided into epochs of ``k`` cycles; protocol messages
+  are tagged with a monotone epoch identifier;
+* "if a node receives a message with an identifier larger than its
+  current one, it switches to the new epoch immediately" — so epoch
+  starts spread like an epidemic broadcast and clock stragglers are
+  pulled forward;
+* a joining node contacts an existing node (out of band), receives "the
+  next epoch identifier and the amount of time left until the next run
+  starts", and begins participating only then;
+* at each epoch start a node re-reads its (possibly changed) attribute,
+  which is what makes the aggregate *adaptive*.
+
+Each node records its converged approximation whenever it leaves an
+epoch, so the network-level history of per-epoch outputs can be
+compared against the ground truth trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, spawn_streams
+from ..simulator.engine import EventDrivenSimulator
+from ..simulator.transport import (
+    LatencyModel,
+    LossModel,
+    Message,
+    Transport,
+)
+from .aggregates import AggregateFunction, MeanAggregate
+
+#: attribute provider: (node_id, global_time) -> current attribute value
+ValueProvider = Callable[[int, float], float]
+
+
+@dataclass(frozen=True)
+class EpochTaggedPush:
+    """Active-side message: epoch id + approximation."""
+
+    epoch: int
+    approximation: float
+
+
+@dataclass(frozen=True)
+class EpochTaggedReply:
+    """Passive-side reply: epoch id + pre-exchange approximation."""
+
+    epoch: int
+    approximation: float
+
+
+@dataclass
+class EpochOutput:
+    """One node's recorded output for one epoch."""
+
+    node_id: int
+    epoch: int
+    value: float
+    completed: bool  # False when the epoch was cut short by adoption
+
+
+class EpochAggregationNode:
+    """Protocol state machine with epoch tagging and restart."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: "EpochGossipNetwork",
+        rng: np.random.Generator,
+        *,
+        epoch: int,
+        start_time: float,
+    ):
+        self.node_id = node_id
+        self._network = network
+        self._rng = rng
+        self.epoch = epoch
+        self.approximation = network.value_provider(node_id, start_time)
+        self.alive = True
+        self.outputs: List[EpochOutput] = []
+        self._activation_timer = None
+        self._boundary_timer = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin gossiping and schedule the first epoch boundary."""
+        delta_t = self._network.delta_t
+        first = float(self._rng.uniform(0.0, delta_t))
+        self._activation_timer = self._network.engine.schedule_after(
+            first, self._activate
+        )
+        self._schedule_boundary()
+
+    def crash(self) -> None:
+        """Crash-stop: cancel timers, ignore all future messages."""
+        self.alive = False
+        for timer in (self._activation_timer, self._boundary_timer):
+            if timer is not None:
+                timer.cancel()
+        self._activation_timer = None
+        self._boundary_timer = None
+
+    # -- epoch management -----------------------------------------------------
+
+    def _epoch_end_time(self) -> float:
+        """Global end time of the current epoch (epochs are aligned to
+        the common reference: epoch e covers [e·T, (e+1)·T))."""
+        return (self.epoch + 1) * self._network.epoch_length
+
+    def _schedule_boundary(self) -> None:
+        if self._boundary_timer is not None:
+            self._boundary_timer.cancel()
+        engine = self._network.engine
+        end_time = max(self._epoch_end_time(), engine.now)
+        self._boundary_timer = engine.schedule_at(end_time, self._on_boundary)
+
+    def _on_boundary(self) -> None:
+        if not self.alive:
+            return
+        self._enter_epoch(self.epoch + 1, completed=True)
+
+    def _enter_epoch(self, new_epoch: int, *, completed: bool) -> None:
+        """Record the old epoch's output and restart from the current
+        attribute value."""
+        self.outputs.append(
+            EpochOutput(
+                node_id=self.node_id,
+                epoch=self.epoch,
+                value=self.approximation,
+                completed=completed,
+            )
+        )
+        self.epoch = new_epoch
+        self.approximation = self._network.value_provider(
+            self.node_id, self._network.engine.now
+        )
+        self._schedule_boundary()
+
+    def _maybe_adopt(self, seen_epoch: int) -> None:
+        """The §4 adoption rule: switch immediately to a higher epoch."""
+        if seen_epoch > self.epoch:
+            self._enter_epoch(seen_epoch, completed=False)
+
+    # -- gossip ---------------------------------------------------------------
+
+    def _activate(self) -> None:
+        if not self.alive:
+            return
+        peer = self._network.select_peer(self.node_id, self._rng)
+        if peer is not None:
+            self._network.transport.send(
+                self.node_id,
+                peer,
+                EpochTaggedPush(self.epoch, self.approximation),
+            )
+        self._activation_timer = self._network.engine.schedule_after(
+            self._network.delta_t, self._activate
+        )
+
+    def handle_message(self, source: int, payload) -> None:
+        """Dispatch epoch-tagged protocol messages."""
+        if not self.alive:
+            return
+        if isinstance(payload, EpochTaggedPush):
+            self._handle_push(source, payload)
+        elif isinstance(payload, EpochTaggedReply):
+            self._handle_reply(payload)
+        else:
+            raise ConfigurationError(
+                f"unknown payload type {type(payload).__name__}"
+            )
+
+    def _handle_push(self, source: int, message: EpochTaggedPush) -> None:
+        self._maybe_adopt(message.epoch)
+        if message.epoch < self.epoch:
+            # stale push: answer with our epoch so the sender catches up,
+            # but do not mix values across epochs
+            self._network.transport.send(
+                self.node_id, source, EpochTaggedReply(self.epoch, float("nan"))
+            )
+            return
+        self._network.transport.send(
+            self.node_id,
+            source,
+            EpochTaggedReply(self.epoch, self.approximation),
+        )
+        self.approximation = self._network.aggregate.combine(
+            self.approximation, message.approximation
+        )
+
+    def _handle_reply(self, message: EpochTaggedReply) -> None:
+        self._maybe_adopt(message.epoch)
+        if message.epoch != self.epoch or message.approximation != message.approximation:
+            return  # stale or catch-up reply (NaN payload): no mixing
+        self.approximation = self._network.aggregate.combine(
+            self.approximation, message.approximation
+        )
+
+
+class EpochGossipNetwork:
+    """Event-driven network running the epoch-tagged protocol.
+
+    Parameters
+    ----------
+    n:
+        Initial number of nodes.
+    value_provider:
+        ``(node_id, time) -> attribute`` — re-read at every epoch start,
+        which is what the restart mechanism makes adaptive.
+    cycles_per_epoch:
+        Epoch length k in cycles (epoch duration = k·∆t).
+    delta_t:
+        Cycle length ∆t.
+    aggregate, latency, loss, seed:
+        As in :class:`~repro.core.network.GossipNetwork`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        value_provider: ValueProvider,
+        *,
+        cycles_per_epoch: int = 30,
+        delta_t: float = 1.0,
+        aggregate: Optional[AggregateFunction] = None,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        seed: SeedLike = None,
+    ):
+        if n < 2:
+            raise ConfigurationError(f"need at least two nodes, got {n}")
+        if cycles_per_epoch < 1:
+            raise ConfigurationError(
+                f"cycles_per_epoch must be >= 1, got {cycles_per_epoch}"
+            )
+        if delta_t <= 0:
+            raise ConfigurationError(f"delta_t must be positive, got {delta_t}")
+        self.value_provider = value_provider
+        self.cycles_per_epoch = cycles_per_epoch
+        self.delta_t = delta_t
+        self.aggregate = aggregate if aggregate is not None else MeanAggregate()
+        self.engine = EventDrivenSimulator()
+        streams = spawn_streams(seed, n + 2)
+        self.transport = Transport(
+            self.engine,
+            self._deliver,
+            latency=latency,
+            loss=loss,
+            seed=streams[-2],
+        )
+        self._spawn_rng = streams[-1]
+        self.nodes: Dict[int, EpochAggregationNode] = {}
+        self._next_id = 0
+        for stream in streams[:n]:
+            self._add_node(stream, epoch=0)
+        self._started = False
+
+    @property
+    def epoch_length(self) -> float:
+        """Epoch duration in global time units."""
+        return self.cycles_per_epoch * self.delta_t
+
+    # -- membership -----------------------------------------------------------
+
+    def _add_node(self, rng, *, epoch: int) -> EpochAggregationNode:
+        node = EpochAggregationNode(
+            self._next_id, self, rng, epoch=epoch, start_time=self.engine.now
+        )
+        self.nodes[self._next_id] = node
+        self._next_id += 1
+        return node
+
+    def join(self) -> int:
+        """A new node joins via the §4 protocol: it learns the next
+        epoch id from an existing node and starts participating exactly
+        at that epoch's start. Returns the new node id."""
+        contact = self._sample_alive(exclude=None)
+        if contact is None:
+            raise ConfigurationError("no alive node to join through")
+        next_epoch = self.nodes[contact].epoch + 1
+        stream = np.random.default_rng(
+            self._spawn_rng.integers(0, 2**63 - 1)
+        )
+        node = self._add_node(stream, epoch=next_epoch)
+        node.alive = True
+        start_at = next_epoch * self.epoch_length
+
+        def begin(node=node):
+            if node.alive:
+                node.start()
+
+        self.engine.schedule_at(max(start_at, self.engine.now), begin)
+        return node.node_id
+
+    def crash_nodes(self, node_ids) -> None:
+        """Crash-stop the given nodes."""
+        for node_id in node_ids:
+            self.nodes[node_id].crash()
+
+    def _sample_alive(self, exclude) -> Optional[int]:
+        candidates = [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.alive and node_id != exclude
+        ]
+        if not candidates:
+            return None
+        return candidates[int(self._spawn_rng.integers(0, len(candidates)))]
+
+    def select_peer(self, node_id: int, rng: np.random.Generator) -> Optional[int]:
+        """A uniformly random alive peer (complete random overlay)."""
+        candidates = [
+            other
+            for other, node in self.nodes.items()
+            if node.alive and other != node_id
+        ]
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+    # -- control / observation ----------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        node = self.nodes.get(message.destination)
+        if node is not None:
+            node.handle_message(message.source, message.payload)
+
+    def start(self) -> None:
+        """Start all initial nodes (idempotent)."""
+        if self._started:
+            return
+        for node in self.nodes.values():
+            node.start()
+        self._started = True
+
+    def run_epochs(self, epochs: float) -> None:
+        """Advance the simulation by a number of epoch lengths."""
+        self.start()
+        self.engine.run_until(self.engine.now + epochs * self.epoch_length)
+
+    def epoch_outputs(self, epoch: int) -> List[EpochOutput]:
+        """All recorded outputs for one epoch across nodes (including
+        crashed nodes' earlier records)."""
+        outputs = []
+        for node in self.nodes.values():
+            outputs.extend(o for o in node.outputs if o.epoch == epoch)
+        return outputs
+
+    def epoch_estimates(self, epoch: int) -> np.ndarray:
+        """Converged values recorded for ``epoch`` by nodes that
+        completed it."""
+        return np.asarray(
+            [o.value for o in self.epoch_outputs(epoch) if o.completed]
+        )

@@ -1,0 +1,88 @@
+"""Running several aggregation instances in one exchange.
+
+§4 notes that "multiple nodes [may] start concurrent instances of the
+averaging protocol", each tagged with a unique identifier. More
+generally a deployment computes several aggregates at once (mean, max,
+min, second moment …) by piggybacking all instance values on the same
+push-pull exchange. :class:`MultiAggregateState` is that tagged bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Tuple
+
+from ..errors import ConfigurationError
+from .aggregates import AggregateFunction
+
+
+@dataclass
+class MultiAggregateState:
+    """A node's map of instance id → (aggregate function, value).
+
+    Instances are independent: combining two states applies each
+    instance's own AGGREGATE to the pair of values. An instance missing
+    on one side is initialized there with ``default`` before combining —
+    the §4 rule that nodes reached by a new counting instance "start to
+    behave as if they had 0 as initial value".
+    """
+
+    functions: Dict[Hashable, AggregateFunction] = field(default_factory=dict)
+    values: Dict[Hashable, float] = field(default_factory=dict)
+    defaults: Dict[Hashable, float] = field(default_factory=dict)
+
+    def add_instance(
+        self,
+        instance_id: Hashable,
+        function: AggregateFunction,
+        value: float,
+        *,
+        default: float = 0.0,
+    ) -> None:
+        """Register an aggregation instance on this node."""
+        if instance_id in self.functions:
+            raise ConfigurationError(f"instance {instance_id!r} already exists")
+        self.functions[instance_id] = function
+        self.values[instance_id] = float(value)
+        self.defaults[instance_id] = float(default)
+
+    def get(self, instance_id: Hashable) -> float:
+        """Current value of one instance."""
+        try:
+            return self.values[instance_id]
+        except KeyError:
+            raise ConfigurationError(f"no instance {instance_id!r}") from None
+
+    def __contains__(self, instance_id: Hashable) -> bool:
+        return instance_id in self.values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def combine_multi(
+    left: MultiAggregateState, right: MultiAggregateState
+) -> None:
+    """Push-pull exchange over all instances of two states, in place.
+
+    Instances known to only one side are adopted by the other (with that
+    instance's default as its pre-exchange value), then combined.
+    """
+    all_ids = set(left.values) | set(right.values)
+    for instance_id in all_ids:
+        if instance_id not in left.values:
+            owner = right
+            left.functions[instance_id] = owner.functions[instance_id]
+            left.defaults[instance_id] = owner.defaults[instance_id]
+            left.values[instance_id] = owner.defaults[instance_id]
+        elif instance_id not in right.values:
+            owner = left
+            right.functions[instance_id] = owner.functions[instance_id]
+            right.defaults[instance_id] = owner.defaults[instance_id]
+            right.values[instance_id] = owner.defaults[instance_id]
+        function = left.functions[instance_id]
+        combined = function.combine(
+            left.values[instance_id], right.values[instance_id]
+        )
+        left.values[instance_id] = combined
+        right.values[instance_id] = combined

@@ -1,0 +1,178 @@
+"""Binds protocol nodes, topology, transport and engine into a runnable
+gossip network.
+
+This is the event-driven deployment of the Figure 1 protocol: the object
+a library user constructs to run anti-entropy aggregation "for real"
+(asynchronous activations, latency, loss, crashes) as opposed to the
+synchronous AVG abstraction of §3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng, spawn_streams
+from ..simulator.engine import EventDrivenSimulator
+from ..simulator.transport import (
+    LatencyModel,
+    LossModel,
+    Message,
+    Transport,
+)
+from ..topology.base import Topology
+from .aggregates import AggregateFunction, MeanAggregate
+from .protocol import (
+    AggregationNode,
+    ConstantWaiting,
+    WaitingTimeStrategy,
+)
+
+
+class GossipNetwork:
+    """An event-driven network of :class:`AggregationNode` instances.
+
+    Parameters
+    ----------
+    topology:
+        The overlay graph; neighbor selection samples it uniformly.
+    values:
+        Initial attribute values ``a_i`` (one per node).
+    aggregate:
+        The AGGREGATE function; defaults to AGGREGATE_AVG.
+    waiting:
+        GETWAITINGTIME strategy; defaults to constant ∆t = 1.
+    latency, loss:
+        Transport models (defaults: zero latency, no loss — the §2
+        theoretical setting).
+    clocks:
+        Optional per-node :class:`~repro.simulator.clock.Clock` objects
+        (one per node) relaxing the §2 "hardware clock without drift"
+        assumption. ``None`` keeps the drift-free model.
+    seed:
+        Master seed; per-node and transport streams are spawned from it.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        *,
+        aggregate: Optional[AggregateFunction] = None,
+        waiting: Optional[WaitingTimeStrategy] = None,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        clocks: Optional[Sequence] = None,
+        seed: SeedLike = None,
+    ):
+        if len(values) != topology.n:
+            raise ConfigurationError(
+                f"got {len(values)} values for a topology of {topology.n} nodes"
+            )
+        if clocks is not None and len(clocks) != topology.n:
+            raise ConfigurationError(
+                f"got {len(clocks)} clocks for a topology of {topology.n} nodes"
+            )
+        self.topology = topology
+        self.aggregate = aggregate if aggregate is not None else MeanAggregate()
+        self.waiting = waiting if waiting is not None else ConstantWaiting(1.0)
+        self.engine = EventDrivenSimulator()
+        streams = spawn_streams(seed, topology.n + 2)
+        transport_rng, neighbor_rng = streams[-2], streams[-1]
+        self.transport = Transport(
+            self.engine,
+            self._deliver,
+            latency=latency,
+            loss=loss,
+            seed=transport_rng,
+        )
+        self._neighbor_rng = neighbor_rng
+        self.nodes: List[AggregationNode] = [
+            AggregationNode(
+                i,
+                float(values[i]),
+                self.aggregate,
+                self,
+                streams[i],
+                clock=clocks[i] if clocks is not None else None,
+            )
+            for i in range(topology.n)
+        ]
+        self._started = False
+
+    # -- engine plumbing --------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        self.nodes[message.destination].handle_message(
+            message.source, message.payload
+        )
+
+    def select_neighbor(
+        self, node_id: int, rng: np.random.Generator
+    ) -> Optional[int]:
+        """A uniformly random *alive* neighbor, or None if none exist.
+
+        Dead neighbors are filtered out, modeling a membership layer
+        that eventually removes crashed peers. A bounded number of
+        resamples keeps this O(1) on mostly-alive networks.
+        """
+        for _ in range(16):
+            peer = self.topology.random_neighbor(node_id, rng)
+            if self.nodes[peer].alive:
+                return peer
+        alive = [
+            int(p) for p in self.topology.neighbors(node_id) if self.nodes[p].alive
+        ]
+        if not alive:
+            return None
+        return alive[int(rng.integers(0, len(alive)))]
+
+    # -- control ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node's active loop (idempotent)."""
+        if self._started:
+            return
+        for node in self.nodes:
+            node.start()
+        self._started = True
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` time units."""
+        self.start()
+        self.engine.run_until(self.engine.now + duration)
+
+    def run_cycles(self, cycles: float) -> None:
+        """Advance by ``cycles`` expected cycle lengths ∆t."""
+        self.run(cycles * self.waiting.delta_t)
+
+    def crash_nodes(self, node_ids: Iterable[int]) -> None:
+        """Crash-stop the given nodes."""
+        for node_id in node_ids:
+            self.nodes[node_id].crash()
+
+    # -- observation --------------------------------------------------------
+
+    def approximations(self, *, alive_only: bool = True) -> np.ndarray:
+        """Current approximations x_i across the network."""
+        nodes = [n for n in self.nodes if n.alive or not alive_only]
+        return np.asarray([n.approximation for n in nodes])
+
+    def true_mean(self, *, alive_only: bool = True) -> float:
+        """The ground-truth average of the attribute values."""
+        nodes = [n for n in self.nodes if n.alive or not alive_only]
+        return float(np.mean([n.value for n in nodes]))
+
+    def variance(self) -> float:
+        """Empirical variance of the alive approximations (eq. 3)."""
+        approx = self.approximations()
+        if len(approx) < 2:
+            return 0.0
+        return float(approx.var(ddof=1))
+
+    def max_error(self) -> float:
+        """Worst node error |x_i − true mean| among alive nodes."""
+        approx = self.approximations()
+        return float(np.abs(approx - self.true_mean()).max())

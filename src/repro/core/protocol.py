@@ -1,0 +1,200 @@
+"""The anti-entropy aggregation protocol of Figure 1.
+
+Each node runs an *active* loop — wait ``getWaitingTime()``, pick a
+random neighbor, send the current approximation — and a *passive*
+handler that replies with its own (pre-exchange) approximation; both
+sides then apply AGGREGATE. This module implements the node state
+machine for the event-driven simulator; the synchronous cycle model
+lives in :mod:`repro.simulator.cycle_sim`.
+
+``getWaitingTime`` strategies:
+
+* :class:`ConstantWaiting` — the default ∆t of §1.1 (with a uniformly
+  random initial phase so nodes are spread over the cycle),
+* :class:`ExponentialWaiting` — the §3.3.2 randomization whose pair
+  distribution matches GETPAIR_RAND.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .aggregates import AggregateFunction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import GossipNetwork
+
+
+@dataclass(frozen=True)
+class PushMessage:
+    """Active-side message carrying the initiator's approximation."""
+
+    approximation: float
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """Passive-side reply carrying the responder's pre-exchange
+    approximation."""
+
+    approximation: float
+
+
+class WaitingTimeStrategy(ABC):
+    """Implements GETWAITINGTIME of Figure 1."""
+
+    def __init__(self, delta_t: float):
+        if delta_t <= 0:
+            raise ConfigurationError(f"cycle length must be positive, got {delta_t}")
+        self._delta_t = delta_t
+
+    @property
+    def delta_t(self) -> float:
+        """The (expected) cycle length ∆t."""
+        return self._delta_t
+
+    @abstractmethod
+    def first_wait(self, rng: np.random.Generator) -> float:
+        """Delay before a node's first activation."""
+
+    @abstractmethod
+    def next_wait(self, rng: np.random.Generator) -> float:
+        """Delay between consecutive activations."""
+
+
+class ConstantWaiting(WaitingTimeStrategy):
+    """GETWAITINGTIME ≡ ∆t, with a random initial phase in [0, ∆t).
+
+    The random phase models autonomous nodes that were not started at
+    the same instant; each node still initiates exactly once per cycle,
+    which is the GETPAIR_SEQ discipline.
+    """
+
+    def first_wait(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(0.0, self._delta_t))
+
+    def next_wait(self, rng: np.random.Generator) -> float:
+        return self._delta_t
+
+
+class ExponentialWaiting(WaitingTimeStrategy):
+    """Exponentially distributed waits with mean ∆t (§3.3.2).
+
+    The resulting pair process matches GETPAIR_RAND: node selections
+    form a Poisson process, so φ ~ Poisson(2) per cycle.
+    """
+
+    def first_wait(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._delta_t))
+
+    def next_wait(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._delta_t))
+
+
+class AggregationNode:
+    """Protocol state machine for one node (Figure 1).
+
+    The node is *driven* by a :class:`~repro.core.network.GossipNetwork`
+    which owns the engine, transport and topology; the node only holds
+    protocol state and reacts to timer / message events.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        value: float,
+        aggregate: AggregateFunction,
+        network: "GossipNetwork",
+        rng: np.random.Generator,
+        clock=None,
+    ):
+        self.node_id = node_id
+        self.value = float(value)  # the attribute a_i
+        self.approximation = float(value)  # the running estimate x_i
+        self._aggregate = aggregate
+        self._network = network
+        self._rng = rng
+        self._clock = clock  # None = the §2 drift-free model
+        self.alive = True
+        self.initiated_count = 0
+        self.responded_count = 0
+        self._timer = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _to_global(self, local_delay: float) -> float:
+        """Convert a locally measured wait into global engine time.
+
+        A fast clock (rate > 1) fires early, a slow one late — the §2
+        "hardware clock without drift" assumption made optional.
+        """
+        if self._clock is None:
+            return local_delay
+        return self._clock.local_duration_to_global(local_delay)
+
+    def start(self) -> None:
+        """Schedule the first activation of the active loop."""
+        delay = self._network.waiting.first_wait(self._rng)
+        self._timer = self._network.engine.schedule_after(
+            self._to_global(delay), self._activate
+        )
+
+    def crash(self) -> None:
+        """Crash-stop: stop initiating and responding."""
+        self.alive = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- active side ----------------------------------------------------
+
+    def _activate(self) -> None:
+        if not self.alive:
+            return
+        peer = self._network.select_neighbor(self.node_id, self._rng)
+        if peer is not None:
+            self.initiated_count += 1
+            self._network.transport.send(
+                self.node_id, peer, PushMessage(self.approximation)
+            )
+        delay = self._network.waiting.next_wait(self._rng)
+        self._timer = self._network.engine.schedule_after(
+            self._to_global(delay), self._activate
+        )
+
+    # -- message handling -------------------------------------------------
+
+    def handle_message(self, source: int, payload) -> None:
+        """Dispatch an incoming protocol message."""
+        if not self.alive:
+            return
+        if isinstance(payload, PushMessage):
+            self._handle_push(source, payload)
+        elif isinstance(payload, ReplyMessage):
+            self._handle_reply(payload)
+        else:
+            raise ConfigurationError(
+                f"unknown payload type {type(payload).__name__}"
+            )
+
+    def _handle_push(self, source: int, message: PushMessage) -> None:
+        """Passive side of Figure 1: reply with the *old* x_j, then
+        aggregate."""
+        self.responded_count += 1
+        self._network.transport.send(
+            self.node_id, source, ReplyMessage(self.approximation)
+        )
+        self.approximation = self._aggregate.combine(
+            self.approximation, message.approximation
+        )
+
+    def _handle_reply(self, message: ReplyMessage) -> None:
+        """Active side completion: aggregate with the peer's reply."""
+        self.approximation = self._aggregate.combine(
+            self.approximation, message.approximation
+        )

@@ -1,0 +1,147 @@
+"""High-level aggregation service facade.
+
+The library's "batteries included" entry point: given per-node values
+and an overlay, :class:`AggregationService` runs all the standard
+aggregates (mean, max, min, k-th moments, counting) as concurrent
+instances over the cycle-driven simulator and returns one consolidated
+report. This is the API shape a downstream monitoring system would
+embed; everything underneath is the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng, spawn_streams
+from ..simulator.cycle_sim import CycleSimulator
+from ..topology.base import Topology
+from .aggregates import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    estimate_network_size,
+    estimate_sum,
+    estimate_variance_from_moments,
+    moment_values,
+)
+
+
+@dataclass(frozen=True)
+class AggregationReport:
+    """Converged estimates as seen by a single (arbitrary) node.
+
+    All quantities are *estimates* produced by gossip, not oracle reads;
+    ``variance_across_nodes`` reports how tightly the network agrees on
+    the mean (the convergence diagnostic).
+    """
+
+    mean: float
+    maximum: float
+    minimum: float
+    second_moment: float
+    network_size: float
+    total: float
+    value_variance: float
+    variance_across_nodes: float
+    cycles: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report as a plain dict (for logging / serialization)."""
+        return {
+            "mean": self.mean,
+            "maximum": self.maximum,
+            "minimum": self.minimum,
+            "second_moment": self.second_moment,
+            "network_size": self.network_size,
+            "total": self.total,
+            "value_variance": self.value_variance,
+            "variance_across_nodes": self.variance_across_nodes,
+            "cycles": float(self.cycles),
+        }
+
+
+class AggregationService:
+    """Runs the full aggregate suite over one overlay.
+
+    Parameters
+    ----------
+    topology:
+        The overlay to gossip on.
+    values:
+        Per-node attribute values ``a_i``.
+    loss_probability:
+        Optional symmetric exchange-failure probability.
+    seed:
+        Master seed; each protocol instance gets an independent stream.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        values: Sequence[float],
+        *,
+        loss_probability: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        if len(values) != topology.n:
+            raise ConfigurationError(
+                f"got {len(values)} values for a topology of {topology.n} nodes"
+            )
+        self.topology = topology
+        self.values = np.asarray(values, dtype=np.float64)
+        self._loss = loss_probability
+        self._seed = seed
+
+    def run(self, cycles: int = 30, *, probe_node: int = 0) -> AggregationReport:
+        """Gossip for ``cycles`` cycles and report node ``probe_node``'s
+        converged view of the network."""
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        if not 0 <= probe_node < self.topology.n:
+            raise ConfigurationError(
+                f"probe_node {probe_node} outside range [0, {self.topology.n})"
+            )
+        streams = spawn_streams(self._seed, 5)
+        n = self.topology.n
+
+        def simulate(initial, aggregate, rng):
+            sim = CycleSimulator(
+                self.topology,
+                initial,
+                aggregate=aggregate,
+                loss_probability=self._loss,
+                seed=rng,
+            )
+            sim.run(cycles)
+            return sim
+
+        mean_sim = simulate(self.values, MeanAggregate(), streams[0])
+        sq_sim = simulate(moment_values(self.values, 2), MeanAggregate(), streams[1])
+        max_sim = simulate(self.values, MaxAggregate(), streams[2])
+        min_sim = simulate(self.values, MinAggregate(), streams[3])
+        indicator = np.zeros(n)
+        indicator[int(make_rng(streams[4]).integers(0, n))] = 1.0
+        count_sim = simulate(indicator, MeanAggregate(), streams[4])
+
+        mean_estimate = float(mean_sim.all_values[probe_node])
+        second_moment = float(sq_sim.all_values[probe_node])
+        size_estimate = estimate_network_size(
+            max(float(count_sim.all_values[probe_node]), 1e-300)
+        )
+        return AggregationReport(
+            mean=mean_estimate,
+            maximum=float(max_sim.all_values[probe_node]),
+            minimum=float(min_sim.all_values[probe_node]),
+            second_moment=second_moment,
+            network_size=size_estimate,
+            total=estimate_sum(mean_estimate, size_estimate),
+            value_variance=estimate_variance_from_moments(
+                mean_estimate, second_moment
+            ),
+            variance_across_nodes=mean_sim.variance(),
+            cycles=cycles,
+        )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class TopologyError(ReproError):
+    """An overlay topology is malformed or cannot be constructed.
+
+    Examples: requesting a k-regular graph with ``n * k`` odd, asking for
+    a neighbor of an isolated node, or referring to a node id outside the
+    topology.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This indicates a bug in a protocol implementation (e.g. an event
+    scheduled in the past) rather than a user mistake.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol message or state transition violated the protocol rules."""
+
+
+class PairSelectionError(ReproError):
+    """A GETPAIR implementation could not produce a valid pair.
+
+    Raised, for instance, when a perfect matching is requested on a
+    topology that admits none, or when a selector is exhausted.
+    """
+
+
+class EstimationError(ReproError):
+    """An aggregate estimate could not be produced (e.g. no leader instance
+    reached the node during the epoch)."""

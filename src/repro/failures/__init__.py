@@ -1,0 +1,25 @@
+"""Fault models: message loss, crash-stop failures and churn traces."""
+
+from .message_loss import LossSchedule, constant_loss
+from .crash import CrashPlan, random_crash_plan
+from .churn import (
+    ChurnModel,
+    NoChurn,
+    OscillatingChurn,
+    ConstantRateChurn,
+    ChurnStep,
+)
+from .partition import PartitionSchedule
+
+__all__ = [
+    "PartitionSchedule",
+    "LossSchedule",
+    "constant_loss",
+    "CrashPlan",
+    "random_crash_plan",
+    "ChurnModel",
+    "NoChurn",
+    "OscillatingChurn",
+    "ConstantRateChurn",
+    "ChurnStep",
+]

@@ -1,0 +1,103 @@
+"""Churn models — who joins and who leaves at each cycle.
+
+Figure 4's scenario: the network size oscillates between 90 000 and
+110 000 "for example on a day/night alternation basis", and *in
+addition* 100 nodes are removed and 100 added every cycle to simulate
+fluctuation. :class:`OscillatingChurn` reproduces exactly that shape
+(parameterized so the benchmarks can scale it down).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChurnStep:
+    """The churn applied before one cycle: ``joins`` new nodes enter,
+    ``leaves`` random existing nodes depart."""
+
+    joins: int
+    leaves: int
+
+
+class ChurnModel(ABC):
+    """Produces a :class:`ChurnStep` per cycle given the current size."""
+
+    @abstractmethod
+    def step(self, cycle: int, current_size: int) -> ChurnStep:
+        """Churn to apply before ``cycle`` when the network currently
+        has ``current_size`` nodes."""
+
+
+class NoChurn(ChurnModel):
+    """A static network."""
+
+    def step(self, cycle: int, current_size: int) -> ChurnStep:
+        return ChurnStep(joins=0, leaves=0)
+
+
+class ConstantRateChurn(ChurnModel):
+    """A fixed number of joins and leaves per cycle (steady-state churn)."""
+
+    def __init__(self, joins_per_cycle: int, leaves_per_cycle: int):
+        if joins_per_cycle < 0 or leaves_per_cycle < 0:
+            raise ConfigurationError("churn rates must be non-negative")
+        self._joins = joins_per_cycle
+        self._leaves = leaves_per_cycle
+
+    def step(self, cycle: int, current_size: int) -> ChurnStep:
+        leaves = min(self._leaves, max(current_size - 1, 0))
+        return ChurnStep(joins=self._joins, leaves=leaves)
+
+
+class OscillatingChurn(ChurnModel):
+    """The Figure 4 scenario.
+
+    The target size follows a sinusoid ``mid + amplitude·sin(2π·cycle /
+    period)`` (the day/night oscillation between ``mid − amplitude`` and
+    ``mid + amplitude``); the model emits whatever joins/leaves move the
+    current size toward the target, plus ``fluctuation`` simultaneous
+    joins *and* leaves each cycle (the paper's 100 + 100).
+    """
+
+    def __init__(
+        self,
+        mid: int,
+        amplitude: int,
+        period: int,
+        *,
+        fluctuation: int = 0,
+    ):
+        if mid <= 0:
+            raise ConfigurationError(f"mid size must be positive, got {mid}")
+        if amplitude < 0 or amplitude >= mid:
+            raise ConfigurationError(
+                f"amplitude must be in [0, mid), got {amplitude}"
+            )
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        if fluctuation < 0:
+            raise ConfigurationError(
+                f"fluctuation must be non-negative, got {fluctuation}"
+            )
+        self._mid = mid
+        self._amplitude = amplitude
+        self._period = period
+        self._fluctuation = fluctuation
+
+    def target_size(self, cycle: int) -> int:
+        """The oscillation's target size at ``cycle``."""
+        phase = 2.0 * math.pi * cycle / self._period
+        return int(round(self._mid + self._amplitude * math.sin(phase)))
+
+    def step(self, cycle: int, current_size: int) -> ChurnStep:
+        delta = self.target_size(cycle) - current_size
+        joins = self._fluctuation + max(delta, 0)
+        leaves = self._fluctuation + max(-delta, 0)
+        leaves = min(leaves, max(current_size - 1, 0))
+        return ChurnStep(joins=joins, leaves=leaves)

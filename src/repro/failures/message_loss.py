@@ -1,0 +1,43 @@
+"""Message-loss schedules for cycle-driven experiments.
+
+The event-driven transport has its own per-message
+:class:`~repro.simulator.transport.LossModel`; this module provides the
+cycle-level counterpart: a loss probability as a function of the cycle
+number, allowing time-varying loss (e.g. a lossy burst) in the A2
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+#: a schedule maps a cycle number to that cycle's loss probability
+LossSchedule = Callable[[int], float]
+
+
+def constant_loss(p: float) -> LossSchedule:
+    """A schedule that always returns ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"loss probability must be in [0, 1], got {p}")
+
+    def schedule(cycle: int) -> float:
+        return p
+
+    return schedule
+
+
+def burst_loss(p_background: float, p_burst: float, burst_start: int,
+               burst_end: int) -> LossSchedule:
+    """Background loss with a heavier burst during [burst_start, burst_end)."""
+    for name, value in (("p_background", p_background), ("p_burst", p_burst)):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    if burst_start > burst_end:
+        raise ConfigurationError("burst_start must not exceed burst_end")
+
+    def schedule(cycle: int) -> float:
+        return p_burst if burst_start <= cycle < burst_end else p_background
+
+    return schedule

@@ -1,0 +1,23 @@
+"""Membership management substrates.
+
+Anti-entropy aggregation "assumes that each node has a neighbor set …
+[but] does not address the issue of the maintenance of these sets"
+(§1.2). The paper points at gossip membership protocols [5, 7, 9] that
+maintain approximately random overlays. This package supplies that
+substrate: a trivial static membership and a Newscast-style peer
+sampling service whose views approximate a random graph.
+"""
+
+from .base import MembershipProtocol
+from .static import StaticMembership
+from .newscast import NewscastMembership
+from .adapter import MembershipTopologyAdapter
+from .failure_detector import GossipFailureDetector
+
+__all__ = [
+    "MembershipProtocol",
+    "StaticMembership",
+    "NewscastMembership",
+    "MembershipTopologyAdapter",
+    "GossipFailureDetector",
+]

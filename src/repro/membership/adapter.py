@@ -1,0 +1,66 @@
+"""Adapter exposing a membership protocol as a (dynamic) topology.
+
+Lets every overlay-consuming API in the library (pair selectors, the
+cycle simulator, graph analysis) run directly on top of a gossip
+membership layer's *current* views — the deployment shape the paper
+assumes in §1.2. The adapter is a live window: as the membership
+protocol gossips, the adapter's neighborhoods change with it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..topology.base import Topology
+from .base import MembershipProtocol
+
+
+class MembershipTopologyAdapter(Topology):
+    """A :class:`~repro.topology.base.Topology` view over live
+    membership views.
+
+    Edges are directed view entries treated as usable links (a node can
+    initiate toward anything in its view); ``neighbors`` returns the
+    current view. ``random_edge`` samples an initiator uniformly and a
+    partner from its view, matching how gossip traffic actually flows.
+    """
+
+    def __init__(self, membership: MembershipProtocol):
+        super().__init__(membership.n)
+        self._membership = membership
+
+    @property
+    def membership(self) -> MembershipProtocol:
+        """The underlying membership protocol."""
+        return self._membership
+
+    def neighbors(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        return np.asarray(self._membership.view(node), dtype=np.int64)
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._membership.view(node))
+
+    def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        self._check_node(node)
+        return self._membership.random_partner(node, rng)
+
+    def random_edge(self, rng: np.random.Generator) -> Tuple[int, int]:
+        node = int(rng.integers(0, self.n))
+        view = self._membership.view(node)
+        if not view:
+            raise TopologyError(f"node {node} has an empty view")
+        return node, self._membership.random_partner(node, rng)
+
+    def edge_count(self) -> int:
+        """Number of directed view entries (an upper bound on the
+        undirected edge count)."""
+        return sum(len(self._membership.view(node)) for node in range(self.n))
+
+    def advance_cycle(self, rng: np.random.Generator) -> None:
+        """Run one membership gossip cycle (views change underneath)."""
+        self._membership.advance_cycle(rng)

@@ -1,0 +1,35 @@
+"""Membership protocol interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+
+class MembershipProtocol(ABC):
+    """Supplies each node with a view: a set of gossip partners.
+
+    The aggregation layer only ever asks for a random partner; how the
+    views are maintained (statically, or by a gossip protocol of their
+    own) is this layer's concern.
+    """
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of member nodes."""
+
+    @abstractmethod
+    def view(self, node: int) -> List[int]:
+        """The current view (neighbor candidates) of ``node``."""
+
+    @abstractmethod
+    def random_partner(self, node: int, rng: np.random.Generator) -> int:
+        """A uniformly random partner from ``node``'s current view."""
+
+    @abstractmethod
+    def advance_cycle(self, rng: np.random.Generator) -> None:
+        """Run one cycle of the membership protocol itself (no-op for
+        static membership)."""

@@ -1,0 +1,145 @@
+"""Gossip-style failure detection (van Renesse et al., the paper's [15]).
+
+Anti-entropy aggregation assumes a membership layer that eventually
+stops handing out crashed peers. The classic gossip failure detector
+fills that role: every node keeps a heartbeat counter per peer; once
+per cycle it increments its own counter and merges (elementwise max)
+heartbeat tables with a random peer. A peer whose heartbeat has not
+advanced for ``suspicion_cycles`` local cycles is *suspected*.
+
+Heartbeats of live nodes spread epidemically (O(log N) cycles), so with
+a suspicion horizon of a few multiples of log N the detector is both
+complete (crashed nodes eventually suspected by everyone) and accurate
+(live nodes almost never suspected).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+
+class GossipFailureDetector:
+    """Heartbeat-gossip failure detector over a fixed node population.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    suspicion_cycles:
+        Cycles without heartbeat progress before a peer is suspected.
+        Should comfortably exceed the O(log N) dissemination time.
+    seed:
+        RNG seed for partner selection.
+    """
+
+    def __init__(self, n: int, *, suspicion_cycles: int = 20,
+                 seed: SeedLike = None):
+        if n < 2:
+            raise ConfigurationError("failure detector needs at least two nodes")
+        if suspicion_cycles < 1:
+            raise ConfigurationError(
+                f"suspicion_cycles must be >= 1, got {suspicion_cycles}"
+            )
+        self._n = n
+        self._horizon = suspicion_cycles
+        self._rng = make_rng(seed)
+        # heartbeat[i][j] = highest heartbeat of j known to i
+        self._heartbeats = np.zeros((n, n), dtype=np.int64)
+        # last_advance[i][j] = local cycle at i when heartbeat[i][j] last grew
+        self._last_advance = np.zeros((n, n), dtype=np.int64)
+        self._alive = np.ones(n, dtype=bool)
+        self.cycle = 0
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self._n
+
+    def crash(self, node_ids) -> None:
+        """Crash nodes: they stop incrementing and gossiping."""
+        for node_id in node_ids:
+            if not 0 <= node_id < self._n:
+                raise ConfigurationError(f"node id {node_id} out of range")
+            self._alive[node_id] = False
+
+    def run_cycle(self) -> None:
+        """One detector cycle: heartbeat bumps + one merge per node."""
+        alive_ids = np.nonzero(self._alive)[0]
+        for i in alive_ids.tolist():
+            self._heartbeats[i, i] += 1
+            self._last_advance[i, i] = self.cycle
+        order = self._rng.permutation(alive_ids)
+        for i in order.tolist():
+            j = self._random_alive_peer(i)
+            if j is None:
+                continue
+            self._merge(i, j)
+            self._merge(j, i)
+        self.cycle += 1
+
+    def _random_alive_peer(self, node: int):
+        # contacting a crashed peer silently fails; bounded resampling
+        for _ in range(8):
+            candidate = int(self._rng.integers(0, self._n - 1))
+            candidate += candidate >= node
+            if self._alive[candidate]:
+                return candidate
+        alive = [
+            k for k in range(self._n) if self._alive[k] and k != node
+        ]
+        if not alive:
+            return None
+        return alive[int(self._rng.integers(0, len(alive)))]
+
+    def _merge(self, receiver: int, sender: int) -> None:
+        fresher = self._heartbeats[sender] > self._heartbeats[receiver]
+        self._heartbeats[receiver, fresher] = self._heartbeats[sender, fresher]
+        self._last_advance[receiver, fresher] = self.cycle
+
+    def run(self, cycles: int) -> None:
+        """Run several cycles."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be non-negative, got {cycles}")
+        for _ in range(cycles):
+            self.run_cycle()
+
+    # -- queries -------------------------------------------------------------
+
+    def suspects(self, node: int) -> Set[int]:
+        """The peers ``node`` currently suspects (never includes itself)."""
+        if not 0 <= node < self._n:
+            raise ConfigurationError(f"node id {node} out of range")
+        stale = self.cycle - self._last_advance[node] > self._horizon
+        stale[node] = False
+        return set(np.nonzero(stale)[0].tolist())
+
+    def trusted_peers(self, node: int) -> List[int]:
+        """Peers ``node`` does not suspect — the set a membership layer
+        would hand to the aggregation protocol."""
+        suspected = self.suspects(node)
+        return [
+            peer for peer in range(self._n)
+            if peer != node and peer not in suspected
+        ]
+
+    def detection_complete(self, crashed) -> bool:
+        """Whether every alive node suspects every node in ``crashed``."""
+        crashed = set(crashed)
+        for node in np.nonzero(self._alive)[0].tolist():
+            if not crashed <= self.suspects(node):
+                return False
+        return True
+
+    def false_suspicion_count(self) -> int:
+        """Total (observer, alive-peer) suspicion pairs — accuracy metric."""
+        count = 0
+        for node in np.nonzero(self._alive)[0].tolist():
+            count += sum(
+                1 for suspect in self.suspects(node) if self._alive[suspect]
+            )
+        return count

@@ -1,0 +1,36 @@
+"""Static membership: views are frozen topology neighborhoods."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..topology.base import Topology
+from .base import MembershipProtocol
+
+
+class StaticMembership(MembershipProtocol):
+    """Wraps a fixed :class:`~repro.topology.base.Topology` as a
+    membership service — the setting of the paper's own experiments."""
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+
+    @property
+    def n(self) -> int:
+        return self._topology.n
+
+    @property
+    def topology(self) -> Topology:
+        """The underlying overlay graph."""
+        return self._topology
+
+    def view(self, node: int) -> List[int]:
+        return [int(x) for x in self._topology.neighbors(node)]
+
+    def random_partner(self, node: int, rng: np.random.Generator) -> int:
+        return self._topology.random_neighbor(node, rng)
+
+    def advance_cycle(self, rng: np.random.Generator) -> None:
+        """Static views never change."""

@@ -1,0 +1,52 @@
+"""Execution substrates.
+
+Two simulators are provided, mirroring the two levels at which the
+paper reasons:
+
+* :class:`EventDrivenSimulator` — a discrete-event engine with per-node
+  clocks (optionally drifting), message latency and message loss. This
+  exercises the *protocol* of Figure 1, including the randomized
+  ``getWaitingTime`` variants of §3.3.2.
+* :class:`CycleSimulator` (in :mod:`repro.simulator.cycle_sim`) — a
+  PeerSim-style synchronous cycle-driven engine matching the AVG model
+  of §3 exactly; this is what the paper-scale figures run on.
+"""
+
+from .events import Event, EventQueue
+from .engine import EventDrivenSimulator
+from .clock import Clock, DriftingClock, PerfectClock
+from .transport import (
+    Transport,
+    Message,
+    LatencyModel,
+    ConstantLatency,
+    UniformLatency,
+    ExponentialLatency,
+    LossModel,
+    NoLoss,
+    BernoulliLoss,
+)
+from .metrics import TimeSeries, MetricsRecorder
+from .trace import ExchangeRecord, ExchangeTrace
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "EventDrivenSimulator",
+    "Clock",
+    "PerfectClock",
+    "DriftingClock",
+    "Transport",
+    "Message",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "TimeSeries",
+    "MetricsRecorder",
+    "ExchangeRecord",
+    "ExchangeTrace",
+]

@@ -1,0 +1,71 @@
+"""Per-node clocks.
+
+The paper's theoretical model assumes "a hardware clock without drift
+and a common point of reference in time" (§2). :class:`PerfectClock`
+implements that model; :class:`DriftingClock` relaxes it (rate skew and
+phase offset) so experiments can probe how sensitive the protocol is to
+the assumption — the practical concern deferred to the companion
+technical report [11].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+
+
+class Clock(ABC):
+    """Maps between global simulation time and a node's local time."""
+
+    @abstractmethod
+    def local_time(self, global_time: float) -> float:
+        """Local reading at global time."""
+
+    @abstractmethod
+    def global_time(self, local_time: float) -> float:
+        """Global instant at which the clock shows ``local_time``."""
+
+    def local_duration_to_global(self, duration: float) -> float:
+        """Convert a local-time duration into a global-time duration."""
+        return self.global_time(duration) - self.global_time(0.0)
+
+
+class PerfectClock(Clock):
+    """The §2 model: no drift, common reference (identity mapping)."""
+
+    def local_time(self, global_time: float) -> float:
+        return global_time
+
+    def global_time(self, local_time: float) -> float:
+        return local_time
+
+
+class DriftingClock(Clock):
+    """An affine clock: ``local = offset + rate * global``.
+
+    ``rate`` close to 1 models crystal skew (e.g. 1 ± 1e-4); ``offset``
+    models a missed synchronization point.
+    """
+
+    def __init__(self, *, rate: float = 1.0, offset: float = 0.0):
+        if rate <= 0:
+            raise ConfigurationError(f"clock rate must be positive, got {rate}")
+        self._rate = rate
+        self._offset = offset
+
+    @property
+    def rate(self) -> float:
+        """Clock speed relative to true time."""
+        return self._rate
+
+    @property
+    def offset(self) -> float:
+        """Local reading at global time zero."""
+        return self._offset
+
+    def local_time(self, global_time: float) -> float:
+        return self._offset + self._rate * global_time
+
+    def global_time(self, local_time: float) -> float:
+        return (local_time - self._offset) / self._rate

@@ -1,0 +1,75 @@
+"""Metric collection for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one observation; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ConfigurationError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time} < {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The series as (times, values) numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def last(self) -> float:
+        """Most recent value."""
+        if not self.values:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class MetricsRecorder:
+    """A named collection of :class:`TimeSeries`.
+
+    Protocol code records scalars; experiment code reads them back by
+    name. Unknown names are created on first use.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Record ``value`` at ``time`` in the series called ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self._series[name] = series
+        series.record(time, value)
+
+    def series(self, name: str) -> TimeSeries:
+        """Retrieve a series; raises if it was never recorded."""
+        try:
+            return self._series[name]
+        except KeyError:
+            raise ConfigurationError(f"no series named {name!r}") from None
+
+    def names(self) -> List[str]:
+        """All recorded series names, sorted."""
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series

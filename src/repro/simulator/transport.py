@@ -1,0 +1,158 @@
+"""Message transport with latency and loss models.
+
+The paper's analysis assumes communication "takes zero time" (§2) and
+separately discusses the effects of message loss. The transport makes
+both dimensions explicit: a :class:`LatencyModel` (zero by default to
+match the theory) and a :class:`LossModel` (Bernoulli drop to exercise
+the robustness experiments, A2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from .engine import EventDrivenSimulator
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight protocol message."""
+
+    source: int
+    destination: int
+    payload: Any
+    sent_at: float
+
+
+class LatencyModel(ABC):
+    """Samples a one-way message delay."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """A non-negative delay for one message."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units (0 = paper model)."""
+
+    def __init__(self, delay: float = 0.0):
+        if delay < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {delay}")
+        self._delay = delay
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ConfigurationError(
+                f"need 0 <= low <= high, got low={low}, high={high}"
+            )
+        self._low = low
+        self._high = high
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self._low, self._high))
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delay with the given mean."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ConfigurationError(f"mean latency must be positive, got {mean}")
+        self._mean = mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+
+class LossModel(ABC):
+    """Decides whether a message is dropped."""
+
+    @abstractmethod
+    def is_lost(self, rng: np.random.Generator) -> bool:
+        """True when the message should be silently dropped."""
+
+
+class NoLoss(LossModel):
+    """Reliable channel (the §2 baseline)."""
+
+    def is_lost(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Each message independently lost with probability ``p``."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"loss probability must be in [0, 1], got {p}")
+        self._p = p
+
+    @property
+    def p(self) -> float:
+        """The per-message drop probability."""
+        return self._p
+
+    def is_lost(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self._p)
+
+
+class Transport:
+    """Delivers messages through the event engine.
+
+    ``deliver`` is a callback ``(Message) -> None`` — typically the
+    network's dispatch into the destination node's protocol handler.
+    Dropped messages are counted but never delivered, matching UDP-style
+    gossip deployments.
+    """
+
+    def __init__(
+        self,
+        engine: EventDrivenSimulator,
+        deliver: Callable[[Message], None],
+        *,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        seed: SeedLike = None,
+    ):
+        self._engine = engine
+        self._deliver = deliver
+        self._latency = latency if latency is not None else ConstantLatency(0.0)
+        self._loss = loss if loss is not None else NoLoss()
+        self._rng = make_rng(seed)
+        self.sent_count = 0
+        self.lost_count = 0
+        self.delivered_count = 0
+
+    def send(self, source: int, destination: int, payload: Any) -> None:
+        """Send ``payload``; it arrives after the sampled latency unless
+        the loss model drops it."""
+        self.sent_count += 1
+        if self._loss.is_lost(self._rng):
+            self.lost_count += 1
+            return
+        message = Message(
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self._engine.now,
+        )
+        delay = self._latency.sample(self._rng)
+
+        def deliver_now(message=message):
+            self.delivered_count += 1
+            self._deliver(message)
+
+        self._engine.schedule_after(delay, deliver_now)

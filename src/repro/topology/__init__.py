@@ -1,0 +1,42 @@
+"""Overlay network topologies.
+
+The paper's analysis assumes either a fully connected overlay or a
+connected random overlay with a fixed view size (20-regular random graphs
+in the experiments of Figure 3). Section 5 names "more realistic
+topologies" as future work; this package therefore also ships ring
+lattices, Watts–Strogatz small worlds, Barabási–Albert scale-free graphs
+and stars so that the ablation benchmarks can probe them.
+"""
+
+from .base import Topology, AdjacencyTopology
+from .complete import CompleteTopology
+from .random_regular import RandomRegularTopology
+from .erdos_renyi import ErdosRenyiTopology
+from .ring import RingTopology
+from .smallworld import WattsStrogatzTopology
+from .scale_free import BarabasiAlbertTopology
+from .star import StarTopology
+from .analysis import (
+    connected_components,
+    is_connected,
+    degree_statistics,
+    clustering_coefficient,
+    estimate_diameter,
+)
+
+__all__ = [
+    "Topology",
+    "AdjacencyTopology",
+    "CompleteTopology",
+    "RandomRegularTopology",
+    "ErdosRenyiTopology",
+    "RingTopology",
+    "WattsStrogatzTopology",
+    "BarabasiAlbertTopology",
+    "StarTopology",
+    "connected_components",
+    "is_connected",
+    "degree_statistics",
+    "clustering_coefficient",
+    "estimate_diameter",
+]

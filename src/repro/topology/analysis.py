@@ -1,0 +1,119 @@
+"""Structural analysis helpers for overlay topologies.
+
+The paper's assumptions require *connected* overlays; these functions
+verify that and report the degree statistics behind the "costs are
+distributed very smoothly over the network" claim (§5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..rng import SeedLike, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .base import Topology
+
+
+def connected_components(topology: "Topology") -> List[List[int]]:
+    """Connected components via BFS, each sorted, largest first."""
+    n = topology.n
+    seen = np.zeros(n, dtype=bool)
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        queue = deque([start])
+        seen[start] = True
+        component = []
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor in topology.neighbors(node):
+                neighbor = int(neighbor)
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    queue.append(neighbor)
+        components.append(sorted(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(topology: "Topology") -> bool:
+    """Whether the overlay is a single connected component."""
+    return len(connected_components(topology)) == 1
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of the degree distribution of an overlay."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    std: float
+
+    @property
+    def is_regular(self) -> bool:
+        """True when every node has the same degree."""
+        return self.minimum == self.maximum
+
+
+def degree_statistics(topology: "Topology") -> DegreeStatistics:
+    """Min / max / mean / std of the node degrees."""
+    degrees = np.asarray([topology.degree(i) for i in range(topology.n)])
+    return DegreeStatistics(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        std=float(degrees.std()),
+    )
+
+
+def clustering_coefficient(topology: "Topology", node: int) -> float:
+    """Local clustering coefficient of ``node`` (0 for degree < 2)."""
+    neighbors = [int(x) for x in topology.neighbors(node)]
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    neighbor_set = set(neighbors)
+    links = 0
+    for u in neighbors:
+        links += sum(1 for v in topology.neighbors(u) if int(v) in neighbor_set)
+    links //= 2  # each triangle edge counted from both sides
+    return links / (k * (k - 1) / 2)
+
+
+def estimate_diameter(
+    topology: "Topology", *, samples: int = 16, seed: SeedLike = None
+) -> int:
+    """Lower bound on the diameter via BFS from random sample nodes.
+
+    Exact diameters are O(n·m); a sampled bound is enough for sanity
+    checks ("random 20-regular graphs have logarithmic diameter").
+    Raises :class:`TopologyError` on disconnected graphs.
+    """
+    if not is_connected(topology):
+        raise TopologyError("diameter undefined for a disconnected topology")
+    rng = make_rng(seed)
+    n = topology.n
+    best = 0
+    sources = rng.choice(n, size=min(samples, n), replace=False)
+    for source in sources:
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[source] = 0
+        queue = deque([int(source)])
+        while queue:
+            node = queue.popleft()
+            for neighbor in topology.neighbors(node):
+                neighbor = int(neighbor)
+                if dist[neighbor] < 0:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+        best = max(best, int(dist.max()))
+    return best

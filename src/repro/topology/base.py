@@ -1,0 +1,200 @@
+"""Topology abstractions.
+
+A :class:`Topology` is an undirected graph over node ids ``0 .. n-1``. It
+is the object the pair selectors (``repro.avg.pair_selectors``) and the
+protocol layer (``repro.core``) consult to find communication partners.
+
+Two families exist:
+
+* :class:`CompleteTopology` — neighbors are computed on the fly, nothing
+  is stored (the paper's "fully connected" case scales to N = 100 000).
+* :class:`AdjacencyTopology` — an explicit adjacency structure, the base
+  of every sparse graph in this package.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..rng import choice_excluding
+
+
+class Topology(ABC):
+    """An undirected overlay graph over node ids ``0 .. n-1``."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise TopologyError(f"topology needs at least one node, got n={n}")
+        self._n = int(n)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the overlay."""
+        return self._n
+
+    @abstractmethod
+    def neighbors(self, node: int) -> Sequence[int]:
+        """The neighbor ids of ``node`` (no self-loops, no duplicates)."""
+
+    @abstractmethod
+    def degree(self, node: int) -> int:
+        """Number of neighbors of ``node``."""
+
+    @abstractmethod
+    def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """A uniformly random neighbor of ``node``."""
+
+    @abstractmethod
+    def random_edge(self, rng: np.random.Generator) -> Tuple[int, int]:
+        """A uniformly random edge, as an (i, j) pair with ``i != j``."""
+
+    @abstractmethod
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all undirected edges as ``(i, j)`` with ``i < j``."""
+        for i in range(self.n):
+            for j in self.neighbors(i):
+                if i < j:
+                    yield (i, j)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether ``i`` and ``j`` are neighbors."""
+        self._check_node(i)
+        self._check_node(j)
+        return j in set(self.neighbors(i))
+
+    def random_neighbor_array(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized :meth:`random_neighbor` for an array of node ids.
+
+        The default implementation loops; regular topologies override it
+        with a single vectorized draw. Used by the cycle-driven simulator
+        for paper-scale runs.
+        """
+        return np.fromiter(
+            (self.random_neighbor(int(v), rng) for v in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise TopologyError(f"node id {node} outside range [0, {self.n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class AdjacencyTopology(Topology):
+    """A topology backed by an explicit adjacency list.
+
+    ``adjacency`` maps each node id to a numpy array of neighbor ids.
+    The constructor validates symmetry and the absence of self-loops so
+    that generator bugs surface immediately instead of skewing results.
+    """
+
+    def __init__(self, adjacency: Sequence[Sequence[int]], *, validate: bool = True):
+        super().__init__(len(adjacency))
+        self._adjacency: List[np.ndarray] = [
+            np.asarray(sorted(set(int(x) for x in row)), dtype=np.int64)
+            for row in adjacency
+        ]
+        if validate:
+            self._validate()
+        self._edge_array = self._build_edge_array()
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[Tuple[int, int]], *, validate: bool = True
+    ) -> "AdjacencyTopology":
+        """Build a topology from an iterable of undirected edges."""
+        adjacency: List[set] = [set() for _ in range(n)]
+        for i, j in edges:
+            if not (0 <= i < n and 0 <= j < n):
+                raise TopologyError(f"edge ({i}, {j}) outside node range [0, {n})")
+            if i == j:
+                raise TopologyError(f"self-loop on node {i}")
+            adjacency[i].add(j)
+            adjacency[j].add(i)
+        return cls([sorted(s) for s in adjacency], validate=validate)
+
+    def _validate(self) -> None:
+        neighbor_sets = [set(row.tolist()) for row in self._adjacency]
+        for i, row in enumerate(self._adjacency):
+            for j in row.tolist():
+                if j == i:
+                    raise TopologyError(f"self-loop on node {i}")
+                if not 0 <= j < self.n:
+                    raise TopologyError(f"node {i} lists out-of-range neighbor {j}")
+                if i not in neighbor_sets[j]:
+                    raise TopologyError(
+                        f"asymmetric adjacency: {i} lists {j} but not vice versa"
+                    )
+
+    def _build_edge_array(self) -> np.ndarray:
+        pairs = [(i, j) for i in range(self.n) for j in self._adjacency[i] if i < j]
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(pairs, dtype=np.int64)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        return self._adjacency[node]
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        row = self.neighbors(node)
+        if len(row) == 0:
+            raise TopologyError(f"node {node} has no neighbors")
+        return int(row[rng.integers(0, len(row))])
+
+    def random_edge(self, rng: np.random.Generator) -> Tuple[int, int]:
+        if len(self._edge_array) == 0:
+            raise TopologyError("topology has no edges")
+        i, j = self._edge_array[rng.integers(0, len(self._edge_array))]
+        return int(i), int(j)
+
+    def edge_count(self) -> int:
+        return len(self._edge_array)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for i, j in self._edge_array:
+            yield int(i), int(j)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` int64 array (read-only view)."""
+        view = self._edge_array.view()
+        view.flags.writeable = False
+        return view
+
+    def neighbor_matrix(self) -> np.ndarray:
+        """``(n, k)`` neighbor matrix when the graph is regular.
+
+        Enables fully vectorized random-neighbor draws for the
+        paper-scale figures. Raises :class:`TopologyError` when degrees
+        differ.
+        """
+        degrees = {len(row) for row in self._adjacency}
+        if len(degrees) != 1:
+            raise TopologyError("neighbor_matrix requires a regular graph")
+        return np.vstack(self._adjacency)
+
+    def random_neighbor_array(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        try:
+            matrix = self.neighbor_matrix()
+        except TopologyError:
+            return super().random_neighbor_array(nodes, rng)
+        picks = rng.integers(0, matrix.shape[1], size=len(nodes))
+        return matrix[np.asarray(nodes, dtype=np.int64), picks]

@@ -1,0 +1,58 @@
+"""Erdős–Rényi G(n, p) random graphs.
+
+Not used directly in the paper's figures, but the natural "unbiased
+random topology" against which the fixed-view-size graphs can be
+compared in the topology ablation (experiment A1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..rng import SeedLike, make_rng
+from .base import AdjacencyTopology
+
+
+class ErdosRenyiTopology(AdjacencyTopology):
+    """G(n, p): each of the n·(n−1)/2 possible edges present with prob. p.
+
+    Sampling is done by drawing the edge *count* from the binomial and
+    then drawing that many distinct index pairs, which is O(m) rather
+    than O(n²) for sparse graphs.
+    """
+
+    def __init__(self, n: int, p: float, *, seed: SeedLike = None):
+        if not 0.0 <= p <= 1.0:
+            raise TopologyError(f"edge probability must be in [0, 1], got {p}")
+        rng = make_rng(seed)
+        total_pairs = n * (n - 1) // 2
+        m = int(rng.binomial(total_pairs, p)) if total_pairs > 0 else 0
+        chosen = rng.choice(total_pairs, size=m, replace=False) if m else np.empty(0, int)
+        edges = [self._unrank(int(c), n) for c in chosen]
+        adjacency: list = [[] for _ in range(n)]
+        for i, j in edges:
+            adjacency[i].append(j)
+            adjacency[j].append(i)
+        super().__init__(adjacency, validate=False)
+        self._p = p
+
+    @property
+    def p(self) -> float:
+        """The edge probability."""
+        return self._p
+
+    @staticmethod
+    def _unrank(rank: int, n: int):
+        """Map ``rank`` in [0, C(n,2)) to the pair (i, j), i < j.
+
+        Uses the row-major order of the strictly upper triangle.
+        """
+        i = 0
+        remaining = rank
+        row_len = n - 1
+        while remaining >= row_len:
+            remaining -= row_len
+            i += 1
+            row_len -= 1
+        return i, i + 1 + remaining

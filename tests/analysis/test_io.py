@@ -1,0 +1,52 @@
+"""Tests for analysis.io — JSON/CSV result serialization."""
+
+import pytest
+
+from repro.analysis.io import read_csv, read_json, write_csv, write_json
+from repro.errors import ConfigurationError
+
+ROWS = [
+    {"selector": "pm", "rate": 0.25, "runs": 5},
+    {"selector": "rand", "rate": 0.368, "runs": 5},
+]
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "rates.json"
+        write_json(path, ROWS, metadata={"n": 1000})
+        document = read_json(path)
+        assert document["rows"] == ROWS
+        assert document["metadata"]["n"] == 1000
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_json(tmp_path / "x.json", [])
+
+    def test_inconsistent_fields_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_json(tmp_path / "x.json", [{"a": 1}, {"b": 2}])
+
+    def test_non_result_document_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{}")
+        with pytest.raises(ConfigurationError):
+            read_json(path)
+
+
+class TestCsv:
+    def test_roundtrip_with_types(self, tmp_path):
+        path = tmp_path / "rates.csv"
+        write_csv(path, ROWS)
+        rows = read_csv(path)
+        assert rows == ROWS  # ints and floats restored
+
+    def test_strings_preserved(self, tmp_path):
+        path = tmp_path / "s.csv"
+        write_csv(path, [{"name": "seq", "note": "fast"}])
+        assert read_csv(path) == [{"name": "seq", "note": "fast"}]
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "h.csv"
+        write_csv(path, ROWS)
+        assert path.read_text().splitlines()[0] == "selector,rate,runs"

@@ -1,0 +1,134 @@
+"""Tests for avg.matrix — the linear-algebra view of AVG."""
+
+import numpy as np
+import pytest
+
+from repro.avg import GetPairSeq, ValueVector, run_avg
+from repro.avg.matrix import (
+    contraction_coefficient,
+    cycle_matrix,
+    elementary_matrix,
+    is_doubly_stochastic,
+    realized_reduction,
+)
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+from repro.topology import CompleteTopology
+
+
+class TestElementaryMatrix:
+    def test_structure(self):
+        matrix = elementary_matrix(3, 0, 2)
+        expected = np.array([
+            [0.5, 0.0, 0.5],
+            [0.0, 1.0, 0.0],
+            [0.5, 0.0, 0.5],
+        ])
+        assert np.allclose(matrix, expected)
+
+    def test_matches_elementary_step(self):
+        vector = np.array([1.0, 5.0, 9.0])
+        result = elementary_matrix(3, 0, 1) @ vector
+        assert np.allclose(result, [3.0, 3.0, 9.0])
+
+    def test_idempotent(self):
+        matrix = elementary_matrix(4, 1, 2)
+        assert np.allclose(matrix @ matrix, matrix)
+
+    def test_doubly_stochastic(self):
+        assert is_doubly_stochastic(elementary_matrix(5, 0, 4))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            elementary_matrix(3, 0, 0)
+        with pytest.raises(ConfigurationError):
+            elementary_matrix(3, 0, 3)
+
+
+class TestCycleMatrix:
+    def test_order_of_application(self):
+        """Later pairs act on the output of earlier pairs."""
+        pairs = [(0, 1), (1, 2)]
+        matrix = cycle_matrix(3, pairs)
+        vector = np.array([0.0, 4.0, 8.0])
+        # manual: step (0,1) -> [2,2,8]; step (1,2) -> [2,5,5]
+        assert np.allclose(matrix @ vector, [2.0, 5.0, 5.0])
+
+    def test_every_cycle_matrix_doubly_stochastic(self, rng):
+        topo = CompleteTopology(12)
+        selector = GetPairSeq(topo)
+        for _ in range(5):
+            pairs = [tuple(p) for p in selector.cycle_pairs(rng).tolist()]
+            assert is_doubly_stochastic(cycle_matrix(12, pairs))
+
+    def test_matrix_agrees_with_algorithm(self):
+        """The matrix product reproduces run_avg exactly for the same
+        pair sequence."""
+        n = 10
+        topo = CompleteTopology(n)
+        selector = GetPairSeq(topo)
+        pair_rng = make_rng(77)
+        pairs = [tuple(p) for p in selector.cycle_pairs(pair_rng).tolist()]
+        vector = ValueVector.gaussian(n, seed=5)
+        initial = vector.snapshot()
+        # apply via the algorithm path
+        for i, j in pairs:
+            vector.elementary_step(i, j)
+        # apply via the matrix path
+        matrix_result = cycle_matrix(n, pairs) @ initial
+        assert np.allclose(vector.values, matrix_result)
+
+
+class TestContraction:
+    def test_identity_no_contraction(self):
+        assert contraction_coefficient(np.eye(5)) == pytest.approx(1.0)
+
+    def test_full_averaging_total_contraction(self):
+        n = 6
+        matrix = np.ones((n, n)) / n
+        assert contraction_coefficient(matrix) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounds_realized_reduction(self, rng):
+        """λ² upper-bounds the realized per-cycle reduction for every
+        input vector."""
+        n = 14
+        selector = GetPairSeq(CompleteTopology(n))
+        pairs = [tuple(p) for p in selector.cycle_pairs(rng).tolist()]
+        matrix = cycle_matrix(n, pairs)
+        bound = contraction_coefficient(matrix)
+        for seed in range(5):
+            vector = ValueVector.gaussian(n, seed=seed).values
+            assert realized_reduction(matrix, vector) <= bound + 1e-9
+
+    def test_realized_reduction_validation(self):
+        with pytest.raises(ConfigurationError):
+            realized_reduction(np.eye(3), np.ones(3))  # zero variance
+        with pytest.raises(ConfigurationError):
+            realized_reduction(np.eye(3), np.ones(4))
+
+    def test_average_contraction_tracks_theory(self, rng):
+        """Averaged over many cycles, the realized reduction on random
+        vectors sits near E(2^{-φ}) = 1/(2√e) (Theorem 1) — the spectral
+        view and the probabilistic view agree."""
+        n = 60
+        selector = GetPairSeq(CompleteTopology(n))
+        reductions = []
+        for seed in range(30):
+            pairs = [tuple(p) for p in selector.cycle_pairs(rng).tolist()]
+            matrix = cycle_matrix(n, pairs)
+            vector = ValueVector.gaussian(n, seed=seed).values
+            reductions.append(realized_reduction(matrix, vector))
+        assert np.mean(reductions) == pytest.approx(0.3033, rel=0.15)
+
+
+class TestDoublyStochasticCheck:
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            is_doubly_stochastic(np.ones((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        matrix = np.array([[1.5, -0.5], [-0.5, 1.5]])
+        assert not is_doubly_stochastic(matrix)
+
+    def test_rejects_bad_row_sums(self):
+        assert not is_doubly_stochastic(np.full((2, 2), 0.4))

@@ -1,0 +1,48 @@
+"""Tests for pair-selector generic fallback paths (non-adjacency,
+non-complete topologies such as the live membership adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.avg import GetPairRand, GetPairSeq, ValueVector, run_avg
+from repro.membership import (
+    MembershipTopologyAdapter,
+    NewscastMembership,
+    StaticMembership,
+)
+from repro.topology import RingTopology
+
+
+@pytest.fixture
+def adapter():
+    return MembershipTopologyAdapter(StaticMembership(RingTopology(30, 4)))
+
+
+class TestRandFallback:
+    def test_pairs_respect_views(self, adapter, rng):
+        pairs = GetPairRand(adapter).cycle_pairs(rng)
+        assert pairs.shape == (30, 2)
+        for i, j in pairs.tolist():
+            assert j in adapter.neighbors(i).tolist()
+
+    def test_no_self_pairs(self, adapter, rng):
+        pairs = GetPairRand(adapter).cycle_pairs(rng)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_avg_converges_via_fallback(self, adapter):
+        # a ring mixes slowly (diffusive), so allow a generous horizon
+        vector = ValueVector.gaussian(30, seed=1)
+        result = run_avg(vector, GetPairRand(adapter), 60, seed=2)
+        assert result.variances[-1] < result.variances[0] * 1e-3
+
+
+class TestSeqOverLiveViews:
+    def test_partners_from_current_views(self, rng):
+        membership = NewscastMembership(40, view_size=6, seed=3)
+        adapter = MembershipTopologyAdapter(membership)
+        selector = GetPairSeq(adapter)
+        for _ in range(3):
+            pairs = selector.cycle_pairs(rng)
+            for i, j in pairs.tolist():
+                assert j in membership.view(i)
+            adapter.advance_cycle(rng)  # views change between cycles

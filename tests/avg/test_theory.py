@@ -1,0 +1,183 @@
+"""Tests for avg.theory — the closed-form results of §3."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.avg import (
+    RATE_PM,
+    RATE_RAND,
+    RATE_SEQ,
+    convergence_rate,
+    cycles_to_reduce,
+    expected_reduction_lemma1,
+    expected_two_pow_minus_phi,
+    phi_distribution,
+    poisson_pmf,
+    verify_lemma2_optimality,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRateConstants:
+    def test_pm_rate_eq8(self):
+        assert RATE_PM == 0.25
+
+    def test_rand_rate_eq10(self):
+        assert RATE_RAND == pytest.approx(1 / math.e)
+        assert RATE_RAND == pytest.approx(0.368, abs=5e-4)
+
+    def test_seq_rate_eq12(self):
+        assert RATE_SEQ == pytest.approx(1 / (2 * math.sqrt(math.e)))
+        assert RATE_SEQ == pytest.approx(0.303, abs=5e-4)
+
+    def test_ordering_pm_best(self):
+        """§3.3.3: 1/4 < 1/(2√e) < 1/e."""
+        assert RATE_PM < RATE_SEQ < RATE_RAND
+
+    def test_lookup(self):
+        assert convergence_rate("pm") == RATE_PM
+        assert convergence_rate("RAND") == RATE_RAND
+        assert convergence_rate("seq") == RATE_SEQ
+        assert convergence_rate("pmrand") == RATE_SEQ
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            convergence_rate("nope")
+
+
+class TestPoisson:
+    def test_pmf_sums_to_one(self):
+        total = sum(poisson_pmf(k, 2.0) for k in range(80))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_values(self):
+        assert poisson_pmf(0, 2.0) == pytest.approx(math.exp(-2))
+        assert poisson_pmf(1, 2.0) == pytest.approx(2 * math.exp(-2))
+
+    def test_negative_k_zero(self):
+        assert poisson_pmf(-1, 2.0) == 0.0
+
+    def test_zero_rate(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_pmf(1, -1.0)
+
+
+class TestPhiDistribution:
+    def test_pm_point_mass(self):
+        pmf = phi_distribution("pm")
+        assert pmf[2] == 1.0
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_rand_is_poisson2(self):
+        """Eq. (9): P(φ = j) = 2^j e^{-2} / j!"""
+        pmf = phi_distribution("rand")
+        assert pmf[0] == pytest.approx(math.exp(-2))
+        assert pmf[2] == pytest.approx(2 * math.exp(-2))
+        mean = sum(k * p for k, p in enumerate(pmf))
+        assert mean == pytest.approx(2.0)
+
+    def test_seq_is_shifted_poisson(self):
+        """Eq. (11): P(φ = j) = e^{-1} / (j-1)! for j >= 1."""
+        pmf = phi_distribution("seq")
+        assert pmf[0] == 0.0
+        assert pmf[1] == pytest.approx(math.exp(-1))
+        mean = sum(k * p for k, p in enumerate(pmf))
+        assert mean == pytest.approx(2.0)
+
+    def test_pmrand_equals_seq(self):
+        assert np.allclose(phi_distribution("pmrand"), phi_distribution("seq"))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            phi_distribution("bogus")
+
+
+class TestExpectedTwoPowMinusPhi:
+    """Theorem 1's rate functional reproduces eqs. (8), (10), (12)."""
+
+    def test_pm(self):
+        assert expected_two_pow_minus_phi(phi_distribution("pm")) == RATE_PM
+
+    def test_rand_derivation_eq10(self):
+        rate = expected_two_pow_minus_phi(phi_distribution("rand"))
+        assert rate == pytest.approx(RATE_RAND)
+
+    def test_seq_derivation_eq12(self):
+        rate = expected_two_pow_minus_phi(phi_distribution("seq"))
+        assert rate == pytest.approx(RATE_SEQ)
+
+    def test_mapping_input(self):
+        assert expected_two_pow_minus_phi({2: 1.0}) == 0.25
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_two_pow_minus_phi({1: 0.4})
+
+
+class TestLemma1:
+    def test_formula(self):
+        # E(σ²_a − σ²_a') = (E(a_i²) + E(a_j²)) / (2(N−1))
+        assert expected_reduction_lemma1(4.0, 2.0, 11) == pytest.approx(0.3)
+
+    def test_needs_two_elements(self):
+        with pytest.raises(ConfigurationError):
+            expected_reduction_lemma1(1.0, 1.0, 1)
+
+    def test_monte_carlo_agreement(self):
+        """Empirically verify Lemma 1 on independent zero-mean values."""
+        rng = np.random.default_rng(0)
+        n = 50
+        reductions = []
+        for _ in range(4000):
+            a = rng.normal(0, 1, size=n)
+            before = a.var(ddof=1)
+            a2 = a.copy()
+            a2[0] = a2[1] = (a[0] + a[1]) / 2
+            reductions.append(before - a2.var(ddof=1))
+        predicted = expected_reduction_lemma1(1.0, 1.0, n)
+        assert np.mean(reductions) == pytest.approx(predicted, rel=0.1)
+
+
+class TestLemma2:
+    def test_point_mass_is_optimal_boundary(self):
+        assert verify_lemma2_optimality({2: 1.0})
+
+    def test_poisson2_not_better(self):
+        assert verify_lemma2_optimality(phi_distribution("rand"))
+
+    def test_shifted_poisson_not_better(self):
+        assert verify_lemma2_optimality(phi_distribution("seq"))
+
+    def test_two_point_mixtures_not_better(self):
+        """Sweep mixtures P(X=1)=p, P(X=3)=p, P(X=2)=1-2p."""
+        for p in np.linspace(0.01, 0.5, 20):
+            pmf = {1: p, 2: 1 - 2 * p, 3: p}
+            assert verify_lemma2_optimality(pmf)
+
+    def test_wrong_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            verify_lemma2_optimality({1: 1.0})
+
+
+class TestCyclesToReduce:
+    def test_paper_claim_section5(self):
+        """§5: 99.9 % reduction needs ln 1000 ≈ 7 cycles with RAND."""
+        assert cycles_to_reduce(1e-3, RATE_RAND) == 7
+
+    def test_pm_needs_five(self):
+        assert cycles_to_reduce(1e-3, RATE_PM) == 5
+
+    def test_seq_needs_six(self):
+        assert cycles_to_reduce(1e-3, RATE_SEQ) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_reduce(0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            cycles_to_reduce(0.5, 1.5)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompleteTopology, RandomRegularTopology
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def complete_100():
+    """A small complete topology shared across tests."""
+    return CompleteTopology(100)
+
+
+@pytest.fixture(scope="session")
+def regular_200_6():
+    """A 6-regular random graph on 200 nodes (session-cached: generation
+    is the expensive part)."""
+    return RandomRegularTopology(200, 6, seed=777)

@@ -1,0 +1,120 @@
+"""Tests for core.aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GeometricMeanAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    estimate_network_size,
+    estimate_sum,
+    estimate_variance_from_moments,
+    moment_values,
+)
+from repro.errors import ConfigurationError, EstimationError
+
+
+class TestMean:
+    def test_combine(self):
+        assert MeanAggregate().combine(2.0, 4.0) == 3.0
+
+    def test_symmetric(self):
+        agg = MeanAggregate()
+        assert agg.combine(1.0, 9.0) == agg.combine(9.0, 1.0)
+
+    def test_fixed_point(self):
+        assert MeanAggregate().combine(5.0, 5.0) == 5.0
+
+    def test_callable(self):
+        assert MeanAggregate()(2.0, 4.0) == 3.0
+
+    def test_mass_conservation(self):
+        agg = MeanAggregate()
+        x, y = 3.7, -1.2
+        combined = agg.combine(x, y)
+        assert combined + combined == pytest.approx(x + y)
+
+
+class TestMaxMin:
+    def test_max(self):
+        assert MaxAggregate().combine(2.0, 4.0) == 4.0
+
+    def test_min(self):
+        assert MinAggregate().combine(2.0, 4.0) == 2.0
+
+    def test_idempotent(self):
+        assert MaxAggregate().combine(4.0, 4.0) == 4.0
+        assert MinAggregate().combine(4.0, 4.0) == 4.0
+
+    def test_negative_values(self):
+        assert MaxAggregate().combine(-5.0, -3.0) == -3.0
+        assert MinAggregate().combine(-5.0, -3.0) == -5.0
+
+
+class TestGeometricMean:
+    def test_combine(self):
+        assert GeometricMeanAggregate().combine(2.0, 8.0) == pytest.approx(4.0)
+
+    def test_product_conserved(self):
+        agg = GeometricMeanAggregate()
+        x, y = 3.0, 12.0
+        combined = agg.combine(x, y)
+        assert combined * combined == pytest.approx(x * y)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMeanAggregate().combine(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            GeometricMeanAggregate().combine(2.0, -1.0)
+
+
+class TestDerivedEstimators:
+    def test_network_size(self):
+        assert estimate_network_size(0.001) == pytest.approx(1000.0)
+
+    def test_network_size_rejects_nonpositive(self):
+        with pytest.raises(EstimationError):
+            estimate_network_size(0.0)
+
+    def test_sum(self):
+        assert estimate_sum(2.5, 100.0) == 250.0
+
+    def test_sum_rejects_nonpositive_size(self):
+        with pytest.raises(EstimationError):
+            estimate_sum(1.0, 0.0)
+
+    def test_moment_values(self):
+        result = moment_values([1.0, 2.0, 3.0], 2)
+        assert result.tolist() == [1.0, 4.0, 9.0]
+
+    def test_moment_order_validated(self):
+        with pytest.raises(ConfigurationError):
+            moment_values([1.0], 0)
+
+    def test_variance_from_moments(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        m1 = values.mean()
+        m2 = (values**2).mean()
+        assert estimate_variance_from_moments(m1, m2) == pytest.approx(
+            values.var()
+        )
+
+    def test_variance_tiny_negative_clamped(self):
+        assert estimate_variance_from_moments(1.0, 1.0 - 1e-15) == 0.0
+
+    def test_variance_inconsistent_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_variance_from_moments(10.0, 1.0)
+
+    def test_end_to_end_moment_pipeline(self):
+        """Averaging k-th powers + counting reproduces moments exactly."""
+        values = np.array([2.0, 4.0, 4.0, 6.0])
+        m1 = moment_values(values, 1).mean()
+        m2 = moment_values(values, 2).mean()
+        n = estimate_network_size(1.0 / len(values))
+        assert estimate_sum(m1, n) == pytest.approx(values.sum())
+        assert estimate_variance_from_moments(m1, m2) == pytest.approx(
+            values.var()
+        )

@@ -1,0 +1,145 @@
+"""Tests for core.broadcast — push-pull epidemic spreading and the
+MAX-aggregation equivalence claim (§1.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MaxAggregate,
+    PushPullBroadcast,
+    expected_rounds_push,
+    expected_rounds_push_pull,
+    spread_trajectory_deterministic,
+)
+from repro.errors import ConfigurationError
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.topology import AdjacencyTopology, CompleteTopology, RingTopology
+
+
+class TestBroadcastBasics:
+    def test_initial_state(self):
+        b = PushPullBroadcast(CompleteTopology(10), origin=3, seed=1)
+        assert b.informed_count == 1
+        assert b.informed_mask[3]
+        assert not b.is_complete()
+
+    def test_origin_validated(self):
+        with pytest.raises(ConfigurationError):
+            PushPullBroadcast(CompleteTopology(5), origin=5)
+
+    def test_monotone_spread(self):
+        b = PushPullBroadcast(CompleteTopology(200), seed=2)
+        counts = [b.informed_count]
+        for _ in range(10):
+            b.run_cycle()
+            counts.append(b.informed_count)
+        assert all(y >= x for x, y in zip(counts, counts[1:]))
+
+    def test_run_until_complete(self):
+        b = PushPullBroadcast(CompleteTopology(500), seed=3)
+        trajectory = b.run_until_complete()
+        assert trajectory[0] == 1
+        assert trajectory[-1] == 500
+        assert b.is_complete()
+
+    def test_disconnected_raises(self):
+        topo = AdjacencyTopology([[1], [0], [3], [2]])
+        b = PushPullBroadcast(topo, origin=0, seed=4)
+        with pytest.raises(ConfigurationError):
+            b.run_until_complete(max_cycles=50)
+
+    def test_deterministic(self):
+        a = PushPullBroadcast(CompleteTopology(300), seed=9)
+        b = PushPullBroadcast(CompleteTopology(300), seed=9)
+        assert a.run_until_complete() == b.run_until_complete()
+
+
+class TestRoundComplexity:
+    @pytest.mark.parametrize("n", [1000, 10000])
+    def test_rounds_in_theoretical_window(self, n):
+        rounds = [
+            len(PushPullBroadcast(CompleteTopology(n), seed=s)
+                .run_until_complete()) - 1
+            for s in range(5)
+        ]
+        mean_rounds = np.mean(rounds)
+        # lower envelope: pure tripling; upper envelope: push-only bound
+        assert mean_rounds >= math.log(n, 3) - 1
+        assert mean_rounds <= expected_rounds_push(n)
+
+    def test_push_pull_estimate_close(self):
+        estimate = expected_rounds_push_pull(10000)
+        rounds = [
+            len(PushPullBroadcast(CompleteTopology(10000), seed=s)
+                .run_until_complete()) - 1
+            for s in range(5)
+        ]
+        assert abs(np.mean(rounds) - estimate) < 4
+
+    def test_edge_cases(self):
+        assert expected_rounds_push(1) == 0.0
+        assert expected_rounds_push_pull(1) == 0.0
+        with pytest.raises(ConfigurationError):
+            expected_rounds_push(0)
+
+    def test_ring_is_linear_not_logarithmic(self):
+        """Structured topologies break the epidemic speedup: on a ring
+        information travels a bounded distance per cycle."""
+        n = 100
+        trajectory = PushPullBroadcast(
+            RingTopology(n, 2), seed=5
+        ).run_until_complete(max_cycles=500)
+        assert len(trajectory) - 1 > 2 * math.log2(n)
+
+
+class TestMeanField:
+    def test_trajectory_monotone_to_one(self):
+        trajectory = spread_trajectory_deterministic(10000)
+        assert all(y >= x for x, y in zip(trajectory, trajectory[1:]))
+        assert trajectory[-1] > 1 - 1e-3
+
+    def test_matches_simulation_phase_width(self):
+        """Early-phase randomness time-shifts individual runs, so we
+        compare the *shape*: the number of cycles spent between 10 % and
+        90 % informed must agree between mean field and simulation."""
+        n = 20000
+
+        def width(fractions):
+            inside = [f for f in fractions if 0.10 <= f <= 0.90]
+            return len(inside)
+
+        b = PushPullBroadcast(CompleteTopology(n), seed=6)
+        simulated = [c / n for c in b.run_until_complete()]
+        predicted = spread_trajectory_deterministic(n)
+        assert abs(width(simulated) - width(predicted)) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spread_trajectory_deterministic(1)
+
+
+class TestMaxEquivalence:
+    def test_max_spreading_equals_broadcast(self):
+        """§1.1: MAX aggregation *is* push-pull broadcast of the maximum.
+        Drive both with the same seed and compare reached-set sizes."""
+        n = 400
+        values = np.zeros(n)
+        values[7] = 1.0  # unique maximum at node 7
+        sim = CycleSimulator(CompleteTopology(n), values,
+                             aggregate=MaxAggregate(), seed=123)
+        broadcast = PushPullBroadcast(CompleteTopology(n), origin=7, seed=123)
+        for _ in range(12):
+            sim.run_cycle()
+            broadcast.run_cycle()
+            reached_max = int((sim.values == 1.0).sum())
+            assert reached_max == broadcast.informed_count
+
+    def test_max_reaches_everyone_fast(self):
+        n = 1000
+        values = np.random.default_rng(1).normal(0, 1, n)
+        sim = CycleSimulator(CompleteTopology(n), values,
+                             aggregate=MaxAggregate(), seed=2)
+        sim.run(int(expected_rounds_push(n)) + 3)
+        assert np.all(sim.values == values.max())

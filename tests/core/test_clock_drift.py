@@ -1,0 +1,79 @@
+"""Tests for clock drift in the event-driven protocol (relaxing §2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GossipNetwork
+from repro.errors import ConfigurationError
+from repro.simulator import DriftingClock, PerfectClock
+from repro.topology import CompleteTopology
+
+
+def make_network(clocks=None, n=300, seed=3):
+    values = np.random.default_rng(1).normal(10, 4, n)
+    return GossipNetwork(
+        CompleteTopology(n), values, clocks=clocks, seed=seed
+    )
+
+
+class TestClockWiring:
+    def test_clock_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_network(clocks=[PerfectClock()])
+
+    def test_perfect_clocks_match_default(self):
+        n = 300
+        default = make_network(seed=5)
+        clocked = make_network(clocks=[PerfectClock()] * n, seed=5)
+        default.run_cycles(5)
+        clocked.run_cycles(5)
+        assert np.array_equal(
+            default.approximations(), clocked.approximations()
+        )
+
+    def test_fast_clock_initiates_more(self):
+        n = 100
+        clocks = [DriftingClock(rate=3.0 if i == 0 else 1.0) for i in range(n)]
+        net = make_network(clocks=clocks, n=n, seed=7)
+        net.run_cycles(10)
+        counts = [node.initiated_count for node in net.nodes]
+        assert counts[0] > 2 * int(np.median(counts[1:]))
+
+
+class TestConvergenceUnderDrift:
+    @pytest.mark.parametrize("skew", [1e-4, 1e-2])
+    def test_small_skew_harmless(self, skew):
+        """Realistic crystal skew (1e-4) and even 1 % skew leave the
+        convergence rate untouched: the protocol needs no synchronized
+        clocks, only comparable cycle lengths."""
+        n = 300
+        rng = np.random.default_rng(11)
+        clocks = [
+            DriftingClock(rate=1.0 + rng.uniform(-skew, skew),
+                          offset=rng.uniform(0, 1))
+            for _ in range(n)
+        ]
+        net = make_network(clocks=clocks, n=n, seed=13)
+        v0 = net.variance()
+        net.run_cycles(10)
+        assert net.variance() < v0 * 1e-3
+
+    def test_mean_conserved_under_drift(self):
+        n = 200
+        rng = np.random.default_rng(17)
+        clocks = [DriftingClock(rate=rng.uniform(0.9, 1.1)) for _ in range(n)]
+        net = make_network(clocks=clocks, n=n, seed=19)
+        truth = net.true_mean()
+        net.run_cycles(10)
+        assert net.approximations().mean() == pytest.approx(truth, abs=1e-9)
+
+    def test_extreme_skew_still_converges(self):
+        """Even 2x spread in clock rates only perturbs the φ
+        distribution; variance still decays geometrically."""
+        n = 200
+        rng = np.random.default_rng(23)
+        clocks = [DriftingClock(rate=rng.uniform(0.7, 1.4)) for _ in range(n)]
+        net = make_network(clocks=clocks, n=n, seed=29)
+        v0 = net.variance()
+        net.run_cycles(15)
+        assert net.variance() < v0 * 1e-4

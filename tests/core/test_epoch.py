@@ -1,0 +1,78 @@
+"""Tests for core.epoch — the §4 epoch schedule."""
+
+import pytest
+
+from repro.avg.theory import RATE_SEQ
+from repro.core import EpochSchedule
+from repro.errors import ConfigurationError
+
+
+class TestSchedule:
+    def test_epoch_of(self):
+        schedule = EpochSchedule(30)
+        assert schedule.epoch_of(0) == 0
+        assert schedule.epoch_of(29) == 0
+        assert schedule.epoch_of(30) == 1
+        assert schedule.epoch_of(95) == 3
+
+    def test_is_epoch_start(self):
+        schedule = EpochSchedule(10)
+        assert schedule.is_epoch_start(0)
+        assert schedule.is_epoch_start(10)
+        assert not schedule.is_epoch_start(5)
+
+    def test_epoch_start_cycle(self):
+        assert EpochSchedule(30).epoch_start_cycle(2) == 60
+
+    def test_cycles_until_next_epoch(self):
+        schedule = EpochSchedule(30)
+        assert schedule.cycles_until_next_epoch(0) == 30
+        assert schedule.cycles_until_next_epoch(29) == 1
+        assert schedule.cycles_until_next_epoch(30) == 30
+
+    def test_join_wait_is_consistent(self):
+        """A joiner at cycle c waiting cycles_until_next_epoch lands on
+        an epoch start."""
+        schedule = EpochSchedule(7)
+        for cycle in range(40):
+            landing = cycle + schedule.cycles_until_next_epoch(cycle)
+            assert schedule.is_epoch_start(landing)
+            assert schedule.epoch_of(landing) == schedule.epoch_of(cycle) + 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpochSchedule(0)
+        with pytest.raises(ConfigurationError):
+            EpochSchedule(10).epoch_of(-1)
+        with pytest.raises(ConfigurationError):
+            EpochSchedule(10).epoch_start_cycle(-2)
+        with pytest.raises(ConfigurationError):
+            EpochSchedule(10).cycles_until_next_epoch(-1)
+        with pytest.raises(ConfigurationError):
+            EpochSchedule(10).is_epoch_start(-1)
+
+
+class TestAdoption:
+    def test_adopt_higher(self):
+        assert EpochSchedule.adopt(3, 5) == 5
+
+    def test_keep_current_when_higher(self):
+        assert EpochSchedule.adopt(5, 3) == 5
+
+    def test_equal(self):
+        assert EpochSchedule.adopt(4, 4) == 4
+
+
+class TestEpochLengthChoice:
+    def test_required_length_from_rate(self):
+        schedule = EpochSchedule(30)
+        k = schedule.required_epoch_length(RATE_SEQ, 1e-4)
+        # 0.303^k <= 1e-4  =>  k = 8
+        assert k == 8
+        assert RATE_SEQ**k <= 1e-4
+        assert RATE_SEQ ** (k - 1) > 1e-4
+
+    def test_paper_epoch_length_is_ample(self):
+        """The Figure 4 epoch (30 cycles of SEQ) drives variance below
+        1e-15 — machine-precision convergence, as the paper intends."""
+        assert RATE_SEQ**30 < 1e-15

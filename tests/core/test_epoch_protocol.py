@@ -1,0 +1,183 @@
+"""Tests for core.epoch_protocol — the event-driven §4 mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_protocol import EpochGossipNetwork
+from repro.errors import ConfigurationError
+from repro.simulator import BernoulliLoss
+
+
+def static_values(n, seed=1, mean=10.0, std=4.0):
+    values = np.random.default_rng(seed).normal(mean, std, n)
+
+    def provider(node_id, time):
+        return float(values[node_id % n]) if node_id < n else 0.0
+
+    return values, provider
+
+
+class TestValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            EpochGossipNetwork(1, lambda i, t: 0.0)
+
+    def test_epoch_length_positive(self):
+        with pytest.raises(ConfigurationError):
+            EpochGossipNetwork(5, lambda i, t: 0.0, cycles_per_epoch=0)
+
+    def test_delta_t_positive(self):
+        with pytest.raises(ConfigurationError):
+            EpochGossipNetwork(5, lambda i, t: 0.0, delta_t=0.0)
+
+
+class TestConvergenceWithinEpoch:
+    def test_epoch_outputs_converge_to_mean(self):
+        n = 200
+        values, provider = static_values(n)
+        net = EpochGossipNetwork(
+            n, provider, cycles_per_epoch=25, seed=2
+        )
+        net.run_epochs(1.05)
+        estimates = net.epoch_estimates(0)
+        assert len(estimates) == n
+        assert np.allclose(estimates, values.mean(), atol=1e-4)
+
+    def test_consecutive_epochs_all_converge(self):
+        n = 150
+        values, provider = static_values(n, seed=3)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=25, seed=4)
+        net.run_epochs(3.05)
+        for epoch in range(3):
+            estimates = net.epoch_estimates(epoch)
+            assert len(estimates) == n
+            assert np.allclose(estimates, values.mean(), atol=1e-3)
+
+    def test_short_epoch_less_converged(self):
+        n = 150
+        values, provider = static_values(n, seed=5)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=3, seed=6)
+        net.run_epochs(1.05)
+        estimates = net.epoch_estimates(0)
+        assert estimates.std() > 0.01  # visibly unconverged
+
+
+class TestAdaptivity:
+    def test_tracks_changing_attribute(self):
+        """The restart makes the aggregate adaptive: when the underlying
+        attribute doubles mid-run, the next epoch's output reflects it."""
+        n = 150
+        base = np.random.default_rng(7).normal(10.0, 3.0, n)
+        epoch_seconds = 25.0
+
+        def provider(node_id, time):
+            scale = 2.0 if time >= epoch_seconds else 1.0
+            return float(base[node_id % n]) * scale
+
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=25, seed=8)
+        net.run_epochs(2.05)
+        first = net.epoch_estimates(0)
+        second = net.epoch_estimates(1)
+        assert np.allclose(first, base.mean(), atol=1e-3)
+        assert np.allclose(second, 2 * base.mean(), atol=2e-3)
+
+
+class TestJoinProtocol:
+    def test_joiner_waits_for_next_epoch(self):
+        n = 100
+        values, provider = static_values(n, seed=9)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=20, seed=10)
+        net.run_epochs(0.5)  # mid-epoch 0
+        joiner = net.join()
+        # the joiner must not have recorded anything for epoch 0
+        net.run_epochs(0.55)  # end of epoch 0 passes
+        assert all(o.epoch != 0 for o in net.nodes[joiner].outputs)
+
+    def test_joiner_participates_in_next_epoch(self):
+        n = 100
+        values, provider = static_values(n, seed=11)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=25, seed=12)
+        net.run_epochs(0.5)
+        joiner = net.join()
+        net.run_epochs(1.6)  # epoch 1 completes
+        estimates = net.epoch_estimates(1)
+        assert len(estimates) == n + 1  # joiner reported too
+        joiner_outputs = [
+            o for o in net.nodes[joiner].outputs if o.epoch == 1
+        ]
+        assert len(joiner_outputs) == 1
+
+    def test_join_requires_alive_contact(self):
+        n = 3
+        _, provider = static_values(n, seed=13)
+        net = EpochGossipNetwork(n, provider, seed=14)
+        net.crash_nodes(list(net.nodes))
+        with pytest.raises(ConfigurationError):
+            net.join()
+
+
+class TestEpochAdoption:
+    def test_straggler_pulled_forward(self):
+        """A node whose epoch lags (simulated by direct manipulation)
+        adopts the higher epoch on first contact — the epidemic
+        epoch-start spreading of §4."""
+        n = 50
+        values, provider = static_values(n, seed=15)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=10, seed=16)
+        net.start()
+        straggler = net.nodes[0]
+        straggler.epoch = 0
+        for node_id in range(1, n):
+            net.nodes[node_id].epoch = 3
+        net.run_epochs(0.3)  # a few cycles of gossip
+        assert straggler.epoch >= 3
+        # the cut-short epochs were recorded as incomplete
+        assert any(not o.completed for o in straggler.outputs)
+
+    def test_no_cross_epoch_mixing(self):
+        """Approximations never mix across epoch tags: with half the
+        network one epoch ahead, the behind-half's values are unchanged
+        until they adopt (mass from epoch e never leaks into e+1's sum
+        except through the reset)."""
+        n = 60
+        values, provider = static_values(n, seed=17)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=1000, seed=18)
+        net.run_epochs(0.01)  # a tiny warmup within epoch 0
+        # bump one node to epoch 5 artificially
+        net.nodes[0].epoch = 5
+        net.nodes[0].approximation = 123.0
+        net.run_epochs(0.01)
+        # every node now at epoch >= 5 has either the reset attribute or
+        # a mix of epoch-5 values only — never a blend with epoch-0 x's
+        epoch5_nodes = [
+            node for node in net.nodes.values() if node.epoch == 5
+        ]
+        assert len(epoch5_nodes) >= 1
+
+    def test_crashed_nodes_ignored(self):
+        n = 80
+        values, provider = static_values(n, seed=19)
+        net = EpochGossipNetwork(n, provider, cycles_per_epoch=25, seed=20)
+        net.run_epochs(0.2)
+        net.crash_nodes(range(20))
+        net.run_epochs(1.9)  # epoch 1 ends at global time 2.0 epochs
+        estimates = net.epoch_estimates(1)
+        # only survivors report epoch 1
+        assert len(estimates) == 60
+
+
+class TestWithLoss:
+    def test_epochs_survive_message_loss(self):
+        n = 150
+        values, provider = static_values(n, seed=21)
+        net = EpochGossipNetwork(
+            n, provider, cycles_per_epoch=30,
+            loss=BernoulliLoss(0.1), seed=22,
+        )
+        net.run_epochs(1.05)
+        estimates = net.epoch_estimates(0)
+        assert len(estimates) == n
+        # asymmetric loss causes small drift but epoch outputs stay
+        # tightly clustered near the truth
+        assert abs(estimates.mean() - values.mean()) < 0.5
+        assert estimates.std() < 0.1

@@ -1,0 +1,85 @@
+"""Tests for core.multi — concurrent tagged aggregation instances."""
+
+import pytest
+
+from repro.core import (
+    MaxAggregate,
+    MeanAggregate,
+    MultiAggregateState,
+    combine_multi,
+)
+from repro.errors import ConfigurationError
+
+
+def state_with(instance_id, value, function=None, default=0.0):
+    state = MultiAggregateState()
+    state.add_instance(
+        instance_id, function or MeanAggregate(), value, default=default
+    )
+    return state
+
+
+class TestState:
+    def test_add_and_get(self):
+        state = state_with("a", 3.0)
+        assert state.get("a") == 3.0
+        assert "a" in state
+        assert len(state) == 1
+
+    def test_duplicate_rejected(self):
+        state = state_with("a", 1.0)
+        with pytest.raises(ConfigurationError):
+            state.add_instance("a", MeanAggregate(), 2.0)
+
+    def test_missing_instance_raises(self):
+        with pytest.raises(ConfigurationError):
+            MultiAggregateState().get("nope")
+
+
+class TestCombine:
+    def test_shared_instance_averaged(self):
+        left = state_with("x", 2.0)
+        right = state_with("x", 4.0)
+        combine_multi(left, right)
+        assert left.get("x") == 3.0
+        assert right.get("x") == 3.0
+
+    def test_one_sided_instance_adopted_with_default(self):
+        """§4: a node reached by an unknown counting instance behaves as
+        if it had started at 0."""
+        left = state_with("count", 1.0)
+        right = MultiAggregateState()
+        combine_multi(left, right)
+        assert left.get("count") == 0.5
+        assert right.get("count") == 0.5
+
+    def test_custom_default(self):
+        left = state_with("m", 4.0, default=2.0)
+        right = MultiAggregateState()
+        combine_multi(left, right)
+        assert right.get("m") == 3.0  # (4 + 2) / 2
+
+    def test_independent_instances(self):
+        left = MultiAggregateState()
+        left.add_instance("avg", MeanAggregate(), 2.0)
+        left.add_instance("max", MaxAggregate(), 5.0)
+        right = MultiAggregateState()
+        right.add_instance("avg", MeanAggregate(), 4.0)
+        right.add_instance("max", MaxAggregate(), 1.0)
+        combine_multi(left, right)
+        assert left.get("avg") == 3.0
+        assert left.get("max") == 5.0
+        assert right.get("max") == 5.0
+
+    def test_mass_conserved_per_instance(self):
+        left = state_with("a", 7.0)
+        right = state_with("a", 1.0)
+        total = left.get("a") + right.get("a")
+        combine_multi(left, right)
+        assert left.get("a") + right.get("a") == pytest.approx(total)
+
+    def test_adoption_symmetric(self):
+        left = MultiAggregateState()
+        right = state_with("only_right", 8.0)
+        combine_multi(left, right)
+        assert left.get("only_right") == 4.0

@@ -1,0 +1,156 @@
+"""Tests for core.network — the event-driven GossipNetwork."""
+
+import numpy as np
+import pytest
+
+from repro.avg.theory import RATE_RAND, RATE_SEQ
+from repro.core import (
+    ConstantWaiting,
+    ExponentialWaiting,
+    GossipNetwork,
+    MaxAggregate,
+)
+from repro.errors import ConfigurationError
+from repro.simulator import BernoulliLoss, ConstantLatency
+from repro.topology import CompleteTopology
+
+
+def make_network(n=200, seed=11, **kwargs):
+    topo = CompleteTopology(n)
+    values = np.random.default_rng(3).normal(10.0, 4.0, n)
+    return GossipNetwork(topo, values, seed=seed, **kwargs)
+
+
+class TestConstruction:
+    def test_value_count_checked(self):
+        with pytest.raises(ConfigurationError):
+            GossipNetwork(CompleteTopology(5), [1.0, 2.0])
+
+    def test_defaults(self):
+        net = make_network(n=10)
+        assert net.waiting.delta_t == 1.0
+        assert net.aggregate.name == "mean"
+
+    def test_deterministic_given_seed(self):
+        a = make_network(seed=5)
+        b = make_network(seed=5)
+        a.run_cycles(3)
+        b.run_cycles(3)
+        assert np.array_equal(a.approximations(), b.approximations())
+
+
+class TestConvergence:
+    def test_variance_decreases(self):
+        net = make_network()
+        v0 = net.variance()
+        net.run_cycles(5)
+        assert net.variance() < v0 * 0.05
+
+    def test_mean_conserved_no_loss(self):
+        net = make_network()
+        true = net.true_mean()
+        net.run_cycles(10)
+        assert net.approximations().mean() == pytest.approx(true, abs=1e-9)
+
+    def test_all_nodes_learn_average(self):
+        net = make_network()
+        net.run_cycles(30)
+        assert net.max_error() < 1e-6
+
+    def test_constant_waiting_rate_near_seq(self):
+        """Constant ∆t waiting == every node initiates once per cycle ==
+        GETPAIR_SEQ's 1/(2√e) per-cycle reduction."""
+        net = make_network(n=1000)
+        rates = []
+        previous = net.variance()
+        for _ in range(8):
+            net.run_cycles(1)
+            current = net.variance()
+            rates.append(current / previous)
+            previous = current
+        geo = float(np.exp(np.mean(np.log(rates))))
+        assert geo == pytest.approx(RATE_SEQ, rel=0.25)
+
+    def test_exponential_waiting_rate_near_rand(self):
+        """Exponential waits == Poisson pair process == GETPAIR_RAND's
+        1/e per-cycle reduction (§3.3.2)."""
+        net = make_network(n=1000, waiting=ExponentialWaiting(1.0))
+        rates = []
+        previous = net.variance()
+        for _ in range(8):
+            net.run_cycles(1)
+            current = net.variance()
+            rates.append(current / previous)
+            previous = current
+        geo = float(np.exp(np.mean(np.log(rates))))
+        assert geo == pytest.approx(RATE_RAND, rel=0.25)
+
+    def test_max_aggregate_floods(self):
+        net = make_network(aggregate=MaxAggregate())
+        true_max = max(node.value for node in net.nodes)
+        net.run_cycles(15)
+        assert np.all(net.approximations() == true_max)
+
+
+class TestLatencyAndLoss:
+    def test_latency_still_converges(self):
+        net = make_network(latency=ConstantLatency(0.05))
+        net.run_cycles(25)
+        assert net.variance() < 1e-6
+
+    def test_loss_preserves_convergence_direction(self):
+        net = make_network(loss=BernoulliLoss(0.2))
+        v0 = net.variance()
+        net.run_cycles(10)
+        assert net.variance() < v0 * 0.1
+
+    def test_loss_can_break_mass_conservation(self):
+        """A lost REPLY makes the exchange asymmetric: the responder
+        updated but the initiator did not, so the global mean drifts.
+        This is the §1.4 message-loss effect the companion TR handles."""
+        drift = []
+        for seed in range(5):
+            net = make_network(seed=seed, loss=BernoulliLoss(0.3))
+            true = net.true_mean()
+            net.run_cycles(20)
+            drift.append(abs(net.approximations().mean() - true))
+        assert max(drift) > 1e-9  # some drift occurs
+
+    def test_loss_counters(self):
+        net = make_network(loss=BernoulliLoss(0.5))
+        net.run_cycles(5)
+        assert net.transport.lost_count > 0
+
+
+class TestCrashes:
+    def test_crashed_nodes_excluded_from_stats(self):
+        net = make_network(n=50)
+        net.crash_nodes(range(10))
+        assert len(net.approximations()) == 40
+
+    def test_survivors_converge_after_crash(self):
+        net = make_network(n=100)
+        net.run_cycles(2)
+        net.crash_nodes(range(30))
+        net.run_cycles(20)
+        assert net.variance() < 1e-8
+
+    def test_select_neighbor_avoids_dead(self):
+        net = make_network(n=10)
+        net.crash_nodes(range(1, 9))  # only 0 and 9 alive
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            peer = net.select_neighbor(0, rng)
+            assert peer == 9
+
+    def test_select_neighbor_none_when_all_dead(self):
+        net = make_network(n=3)
+        net.crash_nodes([1, 2])
+        rng = np.random.default_rng(0)
+        assert net.select_neighbor(0, rng) is None
+
+    def test_crash_all_but_one_stable(self):
+        net = make_network(n=5)
+        net.crash_nodes([1, 2, 3, 4])
+        net.run_cycles(3)  # must not raise
+        assert net.variance() == 0.0

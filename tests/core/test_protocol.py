@@ -1,0 +1,94 @@
+"""Tests for core.protocol — waiting strategies and the node state
+machine (via a small GossipNetwork)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantWaiting,
+    ExponentialWaiting,
+    GossipNetwork,
+    MeanAggregate,
+    PushMessage,
+    ReplyMessage,
+)
+from repro.errors import ConfigurationError
+from repro.topology import CompleteTopology
+
+
+class TestWaitingStrategies:
+    def test_constant_next_wait(self, rng):
+        strategy = ConstantWaiting(2.5)
+        assert strategy.next_wait(rng) == 2.5
+        assert strategy.delta_t == 2.5
+
+    def test_constant_first_wait_in_cycle(self, rng):
+        strategy = ConstantWaiting(2.0)
+        waits = [strategy.first_wait(rng) for _ in range(200)]
+        assert all(0.0 <= w < 2.0 for w in waits)
+        assert np.std(waits) > 0  # actually random
+
+    def test_exponential_mean(self, rng):
+        strategy = ExponentialWaiting(1.5)
+        waits = [strategy.next_wait(rng) for _ in range(5000)]
+        assert np.mean(waits) == pytest.approx(1.5, rel=0.1)
+
+    def test_nonpositive_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantWaiting(0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialWaiting(-1.0)
+
+
+class TestNodeStateMachine:
+    def make_net(self, n=10, **kwargs):
+        topo = CompleteTopology(n)
+        values = np.arange(n, dtype=float)
+        return GossipNetwork(topo, values, seed=7, **kwargs)
+
+    def test_initial_approximation_is_value(self):
+        net = self.make_net()
+        for node in net.nodes:
+            assert node.approximation == node.value
+
+    def test_push_updates_both_sides(self):
+        net = self.make_net(n=2)
+        a, b = net.nodes
+        # manual exchange: a pushes its approximation to b
+        b.handle_message(0, PushMessage(a.approximation))
+        net.engine.run_until(0.0)  # deliver b's reply to a
+        a_expected = (0.0 + 1.0) / 2
+        assert b.approximation == a_expected
+
+    def test_reply_uses_pre_exchange_value(self):
+        """Figure 1: the passive side replies with x_j *before* updating."""
+        net = self.make_net(n=2)
+        inbox = []
+        net.transport._deliver = lambda msg: inbox.append(msg)
+        net.nodes[1].handle_message(0, PushMessage(0.0))
+        net.engine.run_until(0.0)
+        reply = [m for m in inbox if isinstance(m.payload, ReplyMessage)][0]
+        assert reply.payload.approximation == 1.0  # old x_j, not 0.5
+
+    def test_crashed_node_ignores_messages(self):
+        net = self.make_net(n=3)
+        victim = net.nodes[2]
+        victim.crash()
+        before = victim.approximation
+        victim.handle_message(0, PushMessage(99.0))
+        assert victim.approximation == before
+        assert not victim.alive
+
+    def test_unknown_payload_rejected(self):
+        net = self.make_net(n=2)
+        with pytest.raises(ConfigurationError):
+            net.nodes[0].handle_message(1, "garbage")
+
+    def test_counters(self):
+        net = self.make_net(n=20)
+        net.run_cycles(5)
+        for node in net.nodes:
+            assert node.initiated_count == 5
+        total_responses = sum(n.responded_count for n in net.nodes)
+        total_initiations = sum(n.initiated_count for n in net.nodes)
+        assert total_responses == total_initiations

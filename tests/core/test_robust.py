@@ -1,0 +1,104 @@
+"""Tests for core.robust — concurrent instances with median reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import RobustAverager
+from repro.errors import ConfigurationError
+from repro.topology import CompleteTopology
+
+
+@pytest.fixture
+def values():
+    return np.random.default_rng(1).normal(10.0, 4.0, 400)
+
+
+class TestValidation:
+    def test_value_count(self):
+        with pytest.raises(ConfigurationError):
+            RobustAverager(CompleteTopology(5), [1.0])
+
+    def test_instances_positive(self, values):
+        with pytest.raises(ConfigurationError):
+            RobustAverager(CompleteTopology(400), values, instances=0)
+
+    def test_loss_range(self, values):
+        with pytest.raises(ConfigurationError):
+            RobustAverager(CompleteTopology(400), values,
+                           loss_probability=-0.1)
+
+    def test_negative_cycles(self, values):
+        averager = RobustAverager(CompleteTopology(400), values, seed=1)
+        with pytest.raises(ConfigurationError):
+            averager.run(-1)
+
+    def test_crash_range(self, values):
+        averager = RobustAverager(CompleteTopology(400), values, seed=1)
+        with pytest.raises(ConfigurationError):
+            averager.crash([400])
+
+
+class TestCleanRun:
+    def test_all_instances_converge_to_truth(self, values):
+        averager = RobustAverager(
+            CompleteTopology(400), values, instances=3, seed=2
+        )
+        result = averager.run(25)
+        assert result.single_error < 1e-4
+        assert result.median_error < 1e-4
+        assert result.true_mean == pytest.approx(values.mean())
+
+    def test_single_instance_degenerate(self, values):
+        averager = RobustAverager(
+            CompleteTopology(400), values, instances=1, seed=3
+        )
+        result = averager.run(20)
+        assert np.array_equal(result.single_estimates, result.median_estimates)
+
+    def test_deterministic(self, values):
+        a = RobustAverager(CompleteTopology(400), values, instances=3, seed=4)
+        b = RobustAverager(CompleteTopology(400), values, instances=3, seed=4)
+        ra, rb = a.run(10), b.run(10)
+        assert np.array_equal(ra.median_estimates, rb.median_estimates)
+
+    def test_instances_evolve_independently(self, values):
+        averager = RobustAverager(
+            CompleteTopology(400), values, instances=2, seed=5
+        )
+        averager.run_cycle()
+        first, second = averager._state
+        assert first != second  # different pair sequences
+
+
+class TestRobustnessGain:
+    def test_median_beats_single_under_crashes(self, values):
+        """Across seeds, the median-of-instances estimator has no larger
+        error than the single-instance one when 20 % of nodes crash
+        early (independent per-instance mixing noise gets voted out)."""
+        single_errors, median_errors = [], []
+        for seed in range(6):
+            averager = RobustAverager(
+                CompleteTopology(400), values, instances=7, seed=seed
+            )
+            averager.run(2)
+            rng = np.random.default_rng(100 + seed)
+            averager.crash(rng.choice(400, size=80, replace=False).tolist())
+            result = averager.run(20)
+            single_errors.append(result.single_error)
+            median_errors.append(result.median_error)
+        assert np.mean(median_errors) <= np.mean(single_errors)
+
+    def test_crash_reduces_reporting_population(self, values):
+        averager = RobustAverager(CompleteTopology(400), values, seed=7)
+        averager.crash(list(range(100)))
+        result = averager.run(10)
+        assert averager.alive_count == 300
+        assert len(result.median_estimates) == 300
+
+    def test_loss_tolerated(self, values):
+        averager = RobustAverager(
+            CompleteTopology(400), values, instances=3,
+            loss_probability=0.3, seed=8,
+        )
+        result = averager.run(30)
+        assert result.median_error < 1e-4

@@ -1,0 +1,86 @@
+"""Tests for core.service — the AggregationService facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import AggregationService
+from repro.errors import ConfigurationError
+from repro.topology import CompleteTopology, RandomRegularTopology
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(4).lognormal(2.0, 0.5, 600)
+
+
+@pytest.fixture(scope="module")
+def report(values):
+    service = AggregationService(CompleteTopology(600), values, seed=5)
+    return service.run(cycles=30)
+
+
+class TestEstimates:
+    def test_mean(self, report, values):
+        assert report.mean == pytest.approx(values.mean(), rel=1e-6)
+
+    def test_max_exact(self, report, values):
+        assert report.maximum == values.max()
+
+    def test_min_exact(self, report, values):
+        assert report.minimum == values.min()
+
+    def test_network_size(self, report):
+        assert report.network_size == pytest.approx(600, rel=1e-3)
+
+    def test_total(self, report, values):
+        assert report.total == pytest.approx(values.sum(), rel=1e-3)
+
+    def test_value_variance(self, report, values):
+        assert report.value_variance == pytest.approx(values.var(), rel=1e-3)
+
+    def test_network_agreement(self, report):
+        assert report.variance_across_nodes < 1e-8
+
+    def test_cycles_recorded(self, report):
+        assert report.cycles == 30
+
+    def test_as_dict_roundtrip(self, report):
+        payload = report.as_dict()
+        assert payload["mean"] == report.mean
+        assert set(payload) >= {"mean", "maximum", "network_size", "total"}
+
+
+class TestConfiguration:
+    def test_value_count_checked(self):
+        with pytest.raises(ConfigurationError):
+            AggregationService(CompleteTopology(5), [1.0])
+
+    def test_cycles_validated(self, values):
+        service = AggregationService(CompleteTopology(600), values, seed=1)
+        with pytest.raises(ConfigurationError):
+            service.run(cycles=0)
+
+    def test_probe_node_validated(self, values):
+        service = AggregationService(CompleteTopology(600), values, seed=1)
+        with pytest.raises(ConfigurationError):
+            service.run(cycles=5, probe_node=600)
+
+    def test_different_probe_nodes_agree(self, values):
+        service = AggregationService(CompleteTopology(600), values, seed=6)
+        a = service.run(cycles=30, probe_node=0)
+        service2 = AggregationService(CompleteTopology(600), values, seed=6)
+        b = service2.run(cycles=30, probe_node=599)
+        assert a.mean == pytest.approx(b.mean, rel=1e-6)
+
+    def test_sparse_topology(self, values):
+        topology = RandomRegularTopology(600, 10, seed=7)
+        service = AggregationService(topology, values, seed=8)
+        report = service.run(cycles=40)
+        assert report.mean == pytest.approx(values.mean(), rel=1e-4)
+
+    def test_with_loss_still_reasonable(self, values):
+        service = AggregationService(
+            CompleteTopology(600), values, loss_probability=0.2, seed=9
+        )
+        report = service.run(cycles=40)
+        assert report.mean == pytest.approx(values.mean(), rel=0.02)

@@ -1,0 +1,126 @@
+"""Tests for the failures package: loss schedules, crash plans, churn."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import (
+    ChurnStep,
+    ConstantRateChurn,
+    CrashPlan,
+    NoChurn,
+    OscillatingChurn,
+    constant_loss,
+    random_crash_plan,
+)
+from repro.failures.message_loss import burst_loss
+
+
+class TestLossSchedules:
+    def test_constant(self):
+        schedule = constant_loss(0.2)
+        assert schedule(0) == 0.2
+        assert schedule(999) == 0.2
+
+    def test_constant_validated(self):
+        with pytest.raises(ConfigurationError):
+            constant_loss(1.2)
+
+    def test_burst(self):
+        schedule = burst_loss(0.01, 0.5, burst_start=10, burst_end=20)
+        assert schedule(5) == 0.01
+        assert schedule(10) == 0.5
+        assert schedule(19) == 0.5
+        assert schedule(20) == 0.01
+
+    def test_burst_validated(self):
+        with pytest.raises(ConfigurationError):
+            burst_loss(0.1, 0.2, 5, 3)
+        with pytest.raises(ConfigurationError):
+            burst_loss(-0.1, 0.2, 1, 2)
+
+
+class TestCrashPlan:
+    def test_add_and_query(self):
+        plan = CrashPlan()
+        plan.add(5, [1, 2])
+        plan.add(5, [3])
+        assert plan.crashing_at(5) == [1, 2, 3]
+        assert plan.crashing_at(6) == []
+        assert plan.total_crashes == 3
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan().add(-1, [0])
+
+    def test_random_plan_size(self):
+        plan = random_crash_plan(100, 0.3, at_cycle=4, seed=1)
+        assert len(plan.crashing_at(4)) == 30
+        assert plan.total_crashes == 30
+
+    def test_random_plan_unique_victims(self):
+        victims = random_crash_plan(50, 0.5, at_cycle=0, seed=2).crashing_at(0)
+        assert len(set(victims)) == len(victims)
+
+    def test_random_plan_zero_fraction(self):
+        plan = random_crash_plan(100, 0.0, at_cycle=0, seed=3)
+        assert plan.total_crashes == 0
+
+    def test_random_plan_validated(self):
+        with pytest.raises(ConfigurationError):
+            random_crash_plan(10, 1.5, at_cycle=0)
+
+    def test_random_plan_deterministic(self):
+        a = random_crash_plan(100, 0.2, at_cycle=1, seed=9).crashing_at(1)
+        b = random_crash_plan(100, 0.2, at_cycle=1, seed=9).crashing_at(1)
+        assert a == b
+
+
+class TestChurnModels:
+    def test_no_churn(self):
+        assert NoChurn().step(0, 100) == ChurnStep(0, 0)
+
+    def test_constant_rate(self):
+        step = ConstantRateChurn(3, 2).step(0, 100)
+        assert step == ChurnStep(joins=3, leaves=2)
+
+    def test_constant_rate_never_empties_network(self):
+        step = ConstantRateChurn(0, 50).step(0, 10)
+        assert step.leaves == 9
+
+    def test_constant_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRateChurn(-1, 0)
+
+    def test_oscillation_bounds(self):
+        churn = OscillatingChurn(1000, 100, 200)
+        targets = [churn.target_size(c) for c in range(200)]
+        assert max(targets) == 1100
+        assert min(targets) == 900
+
+    def test_oscillation_period(self):
+        churn = OscillatingChurn(1000, 100, 40)
+        assert churn.target_size(0) == churn.target_size(40)
+
+    def test_steps_track_target(self):
+        churn = OscillatingChurn(1000, 100, 100, fluctuation=0)
+        size = 1000
+        for cycle in range(100):
+            step = churn.step(cycle, size)
+            size += step.joins - step.leaves
+            assert size == churn.target_size(cycle)
+
+    def test_fluctuation_added_to_both_sides(self):
+        churn = OscillatingChurn(1000, 0, 10, fluctuation=7)
+        step = churn.step(0, 1000)  # on-target: only fluctuation
+        assert step.joins == 7
+        assert step.leaves == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OscillatingChurn(0, 0, 10)
+        with pytest.raises(ConfigurationError):
+            OscillatingChurn(100, 100, 10)
+        with pytest.raises(ConfigurationError):
+            OscillatingChurn(100, 10, 1)
+        with pytest.raises(ConfigurationError):
+            OscillatingChurn(100, 10, 10, fluctuation=-1)

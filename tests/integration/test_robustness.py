@@ -1,0 +1,85 @@
+"""Integration: failure injection across the stack (the §1.4 concerns)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GossipNetwork
+from repro.failures import random_crash_plan
+from repro.simulator import BernoulliLoss
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.topology import CompleteTopology, RandomRegularTopology
+
+
+class TestMessageLossDegradesGracefully:
+    @pytest.mark.parametrize("loss", [0.0, 0.1, 0.3])
+    def test_convergence_rate_degrades_smoothly(self, loss):
+        """Loss probability p slows the per-cycle rate but never breaks
+        convergence — each surviving exchange still reduces variance."""
+        topo = CompleteTopology(1000)
+        values = np.random.default_rng(1).normal(0, 1, 1000)
+        sim = CycleSimulator(topo, values, loss_probability=loss, seed=2)
+        result = sim.run(10)
+        assert result.variance_array[-1] < result.variance_array[0] * 0.01
+
+    def test_higher_loss_is_slower(self):
+        topo = CompleteTopology(1000)
+        values = np.random.default_rng(3).normal(0, 1, 1000)
+        final = {}
+        for loss in (0.0, 0.5):
+            sim = CycleSimulator(topo, values, loss_probability=loss, seed=4)
+            final[loss] = sim.run(8).variance_array[-1]
+        assert final[0.5] > final[0.0]
+
+
+class TestCrashRobustness:
+    def test_half_network_crash_survivors_converge(self):
+        topo = CompleteTopology(600)
+        values = np.random.default_rng(5).normal(20, 5, 600)
+        sim = CycleSimulator(topo, values, seed=6)
+        sim.run(2)
+        plan = random_crash_plan(600, 0.5, at_cycle=2, seed=7)
+        sim.crash(plan.crashing_at(2))
+        # half of all contact attempts hit dead peers, so allow extra cycles
+        sim.run(30)
+        assert sim.alive_count == 300
+        assert sim.variance() < 1e-6
+
+    def test_crash_biases_mean_proportionally(self):
+        """Crashing nodes holding extreme values early in the run shifts
+        the converged estimate — the known failure mode of unprotected
+        anti-entropy averaging."""
+        n = 500
+        values = np.zeros(n)
+        values[:100] = 100.0  # mass concentrated in the first 100 nodes
+        sim = CycleSimulator(CompleteTopology(n), values, seed=8)
+        sim.crash(list(range(100)))  # crash them before any mixing
+        sim.run(15)
+        # all mass left with the crashed nodes
+        assert sim.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_crash_on_sparse_topology(self):
+        topo = RandomRegularTopology(400, 8, seed=9)
+        values = np.random.default_rng(10).normal(0, 1, 400)
+        sim = CycleSimulator(topo, values, seed=11)
+        sim.crash(list(range(0, 400, 10)))  # 10 % crash
+        sim.run(25)
+        assert sim.variance() < 1e-6
+
+
+class TestEventDrivenLossAsymmetry:
+    def test_mean_drift_grows_with_loss(self):
+        """Asymmetric half-exchanges (push delivered, reply lost) leak
+        mass; drift should grow with the loss rate."""
+        drifts = {}
+        for loss in (0.05, 0.4):
+            errors = []
+            for seed in range(4):
+                topo = CompleteTopology(200)
+                values = np.random.default_rng(12).normal(10, 4, 200)
+                net = GossipNetwork(
+                    topo, values, loss=BernoulliLoss(loss), seed=seed
+                )
+                net.run_cycles(15)
+                errors.append(abs(net.approximations().mean() - net.true_mean()))
+            drifts[loss] = np.mean(errors)
+        assert drifts[0.4] > drifts[0.05] * 0.5  # heavier loss, no smaller drift

@@ -1,0 +1,69 @@
+"""Tests for membership.adapter — membership as a live topology."""
+
+import numpy as np
+import pytest
+
+from repro.avg import GetPairSeq, RATE_SEQ, ValueVector, run_avg
+from repro.errors import TopologyError
+from repro.membership import (
+    MembershipTopologyAdapter,
+    NewscastMembership,
+    StaticMembership,
+)
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.topology import RingTopology
+
+
+class TestAdapterOverStatic:
+    @pytest.fixture
+    def adapter(self):
+        return MembershipTopologyAdapter(StaticMembership(RingTopology(10, 2)))
+
+    def test_neighbors_match_views(self, adapter):
+        assert adapter.neighbors(0).tolist() == [1, 9]
+        assert adapter.degree(0) == 2
+
+    def test_random_neighbor(self, adapter, rng):
+        assert adapter.random_neighbor(0, rng) in (1, 9)
+
+    def test_random_edge(self, adapter, rng):
+        i, j = adapter.random_edge(rng)
+        assert j in adapter.neighbors(i).tolist()
+
+    def test_edge_count_directed_entries(self, adapter):
+        assert adapter.edge_count() == 20  # 10 nodes x view of 2
+
+    def test_node_range_checked(self, adapter):
+        with pytest.raises(TopologyError):
+            adapter.neighbors(10)
+
+
+class TestAdapterOverNewscast:
+    def test_views_change_after_advance(self, rng):
+        membership = NewscastMembership(40, view_size=5, seed=1)
+        adapter = MembershipTopologyAdapter(membership)
+        before = adapter.neighbors(0).tolist()
+        for _ in range(3):
+            adapter.advance_cycle(rng)
+        after = adapter.neighbors(0).tolist()
+        assert before != after
+
+    def test_avg_runs_over_adapter(self):
+        """The theoretical AVG layer runs unchanged over live gossip
+        views, at (approximately) the random-overlay rate."""
+        membership = NewscastMembership(800, view_size=20, seed=2)
+        adapter = MembershipTopologyAdapter(membership)
+        vector = ValueVector.gaussian(800, seed=3)
+        result = run_avg(vector, GetPairSeq(adapter), 12, seed=4)
+        assert result.geometric_mean_reduction() == pytest.approx(
+            RATE_SEQ, rel=0.2
+        )
+
+    def test_cycle_simulator_over_adapter(self):
+        membership = NewscastMembership(300, view_size=10, seed=5)
+        adapter = MembershipTopologyAdapter(membership)
+        values = np.random.default_rng(6).normal(5, 2, 300)
+        sim = CycleSimulator(adapter, values, seed=7)
+        result = sim.run(20)
+        assert result.variance_array[-1] < result.variance_array[0] * 1e-6
+        assert sim.mean() == pytest.approx(values.mean(), abs=1e-9)

@@ -1,0 +1,83 @@
+"""Tests for the gossip failure detector ([15] substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.membership import GossipFailureDetector
+
+
+class TestValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            GossipFailureDetector(1)
+
+    def test_horizon_positive(self):
+        with pytest.raises(ConfigurationError):
+            GossipFailureDetector(10, suspicion_cycles=0)
+
+    def test_crash_range(self):
+        detector = GossipFailureDetector(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            detector.crash([10])
+
+    def test_suspects_range(self):
+        detector = GossipFailureDetector(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            detector.suspects(10)
+
+    def test_negative_cycles(self):
+        detector = GossipFailureDetector(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            detector.run(-1)
+
+
+class TestAccuracy:
+    def test_no_false_suspicions_in_healthy_network(self):
+        detector = GossipFailureDetector(60, suspicion_cycles=15, seed=2)
+        detector.run(60)
+        assert detector.false_suspicion_count() == 0
+
+    def test_trusted_peers_full_when_healthy(self):
+        detector = GossipFailureDetector(30, suspicion_cycles=15, seed=3)
+        detector.run(40)
+        assert len(detector.trusted_peers(0)) == 29
+
+    def test_never_suspects_self(self):
+        detector = GossipFailureDetector(20, suspicion_cycles=2, seed=4)
+        detector.run(30)
+        for node in range(20):
+            assert node not in detector.suspects(node)
+
+
+class TestCompleteness:
+    def test_crashed_node_eventually_suspected_by_all(self):
+        detector = GossipFailureDetector(60, suspicion_cycles=12, seed=5)
+        detector.run(20)  # warm-up: heartbeats circulating
+        detector.crash([7])
+        detector.run(40)
+        assert detector.detection_complete([7])
+
+    def test_mass_crash_detected(self):
+        detector = GossipFailureDetector(80, suspicion_cycles=12, seed=6)
+        detector.run(20)
+        victims = list(range(0, 80, 4))  # 25 %
+        detector.crash(victims)
+        detector.run(50)
+        assert detector.detection_complete(victims)
+
+    def test_detection_incomplete_before_horizon(self):
+        detector = GossipFailureDetector(40, suspicion_cycles=25, seed=7)
+        detector.run(10)
+        detector.crash([3])
+        detector.run(5)  # << horizon
+        assert not detector.detection_complete([3])
+
+    def test_trusted_peers_excludes_crashed(self):
+        detector = GossipFailureDetector(50, suspicion_cycles=10, seed=8)
+        detector.run(15)
+        detector.crash([1, 2])
+        detector.run(40)
+        trusted = detector.trusted_peers(0)
+        assert 1 not in trusted
+        assert 2 not in trusted
+        assert len(trusted) == 47

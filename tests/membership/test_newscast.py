@@ -1,0 +1,76 @@
+"""Tests for membership.newscast — the gossip peer-sampling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.membership import NewscastMembership
+from repro.topology import AdjacencyTopology, is_connected
+
+
+class TestConstruction:
+    def test_view_sizes(self):
+        membership = NewscastMembership(50, view_size=8, seed=1)
+        for node in range(50):
+            assert len(membership.view(node)) == 8
+
+    def test_view_excludes_self(self):
+        membership = NewscastMembership(30, view_size=5, seed=2)
+        for node in range(30):
+            assert node not in membership.view(node)
+
+    def test_view_size_capped(self):
+        membership = NewscastMembership(4, view_size=20, seed=3)
+        assert membership.view_size == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NewscastMembership(1)
+        with pytest.raises(ConfigurationError):
+            NewscastMembership(10, view_size=0)
+
+
+class TestDynamics:
+    def test_views_change_over_cycles(self, rng):
+        membership = NewscastMembership(40, view_size=5, seed=4)
+        before = [tuple(membership.view(n)) for n in range(40)]
+        for _ in range(3):
+            membership.advance_cycle(rng)
+        after = [tuple(membership.view(n)) for n in range(40)]
+        assert before != after
+
+    def test_views_stay_valid(self, rng):
+        membership = NewscastMembership(30, view_size=5, seed=5)
+        for _ in range(10):
+            membership.advance_cycle(rng)
+        for node in range(30):
+            view = membership.view(node)
+            assert len(view) == 5
+            assert node not in view
+            assert all(0 <= peer < 30 for peer in view)
+
+    def test_random_partner_from_view(self, rng):
+        membership = NewscastMembership(20, view_size=4, seed=6)
+        for _ in range(40):
+            assert membership.random_partner(3, rng) in membership.view(3)
+
+    def test_overlay_connected_after_mixing(self, rng):
+        membership = NewscastMembership(60, view_size=6, seed=7)
+        for _ in range(10):
+            membership.advance_cycle(rng)
+        edges = set()
+        for node in range(60):
+            for peer in membership.view(node):
+                edges.add((min(node, peer), max(node, peer)))
+        topo = AdjacencyTopology.from_edges(60, edges)
+        assert is_connected(topo)
+
+    def test_in_degree_roughly_balanced(self, rng):
+        """No starving nodes, no dominant hubs — the 'approximately
+        random' property the aggregation layer needs."""
+        membership = NewscastMembership(100, view_size=10, seed=8)
+        for _ in range(20):
+            membership.advance_cycle(rng)
+        in_degrees = membership.in_degree_distribution()
+        assert in_degrees.min() >= 1
+        assert in_degrees.max() <= 6 * in_degrees.mean()

@@ -1,0 +1,31 @@
+"""Tests for membership.static."""
+
+import pytest
+
+from repro.membership import StaticMembership
+from repro.topology import RingTopology
+
+
+@pytest.fixture
+def membership():
+    return StaticMembership(RingTopology(10, 2))
+
+
+class TestStaticMembership:
+    def test_n(self, membership):
+        assert membership.n == 10
+
+    def test_view_matches_topology(self, membership):
+        assert membership.view(0) == [1, 9]
+
+    def test_random_partner_in_view(self, membership, rng):
+        for _ in range(50):
+            assert membership.random_partner(0, rng) in (1, 9)
+
+    def test_advance_cycle_is_noop(self, membership, rng):
+        before = membership.view(3)
+        membership.advance_cycle(rng)
+        assert membership.view(3) == before
+
+    def test_topology_property(self, membership):
+        assert membership.topology.n == 10

@@ -1,0 +1,144 @@
+"""Property-based tests for the extension modules (churn, trace, io,
+matrix, robust averaging)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.io import read_csv, read_json, write_csv, write_json
+from repro.avg.matrix import cycle_matrix, is_doubly_stochastic
+from repro.core import RobustAverager
+from repro.failures import ConstantRateChurn, OscillatingChurn
+from repro.rng import make_rng
+from repro.simulator import ExchangeTrace
+from repro.topology import CompleteTopology
+
+
+class TestChurnProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        mid=st.integers(10, 5000),
+        amplitude_fraction=st.floats(0.0, 0.9),
+        period=st.integers(2, 500),
+        cycle=st.integers(0, 2000),
+    )
+    def test_oscillation_target_within_bounds(
+        self, mid, amplitude_fraction, period, cycle
+    ):
+        amplitude = int(mid * amplitude_fraction)
+        churn = OscillatingChurn(mid, amplitude, period)
+        target = churn.target_size(cycle)
+        assert mid - amplitude - 1 <= target <= mid + amplitude + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        mid=st.integers(10, 2000),
+        amplitude_fraction=st.floats(0.0, 0.5),
+        period=st.integers(2, 200),
+        fluctuation=st.integers(0, 20),
+        start=st.integers(2, 4000),
+    )
+    def test_steps_never_empty_network(
+        self, mid, amplitude_fraction, period, fluctuation, start
+    ):
+        amplitude = int(mid * amplitude_fraction)
+        churn = OscillatingChurn(mid, amplitude, period,
+                                 fluctuation=fluctuation)
+        size = start
+        for cycle in range(50):
+            step = churn.step(cycle, size)
+            assert step.joins >= 0
+            assert 0 <= step.leaves < size or size <= 1
+            size += step.joins - step.leaves
+            assert size >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(joins=st.integers(0, 50), leaves=st.integers(0, 50),
+           size=st.integers(1, 500))
+    def test_constant_rate_bounds(self, joins, leaves, size):
+        step = ConstantRateChurn(joins, leaves).step(0, size)
+        assert step.joins == joins
+        assert step.leaves <= max(size - 1, 0)
+
+
+class TestTraceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(1, 50),
+        count=st.integers(0, 120),
+    )
+    def test_ring_buffer_invariants(self, capacity, count):
+        trace = ExchangeTrace(capacity=capacity)
+        for k in range(count):
+            trace.record(float(k), 0, 1, 0.0, 0.0, 0.0)
+        assert len(trace) == min(count, capacity)
+        assert trace.dropped == max(count - capacity, 0)
+        times = [record.time for record in trace]
+        assert times == sorted(times)  # order preserved
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(
+        st.tuples(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6)),
+        min_size=1, max_size=30,
+    ))
+    def test_mass_delta_zero_for_midpoints(self, values):
+        trace = ExchangeTrace()
+        for x, y in values:
+            trace.record(0.0, 0, 1, x, y, (x + y) / 2)
+        scale = max(sum(abs(x) + abs(y) for x, y in values), 1.0)
+        assert abs(trace.mass_delta()) < 1e-9 * scale
+
+
+class TestIoProperties:
+    simple_cell = st.one_of(
+        st.integers(-10**9, 10**9),
+        st.floats(-1e9, 1e9, allow_nan=False),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+            min_size=1, max_size=10,
+        ),
+    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.lists(
+        st.fixed_dictionaries({"a": simple_cell, "b": simple_cell}),
+        min_size=1, max_size=10,
+    ))
+    def test_json_roundtrip(self, rows, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "rows.json"
+        write_json(path, rows)
+        assert read_json(path)["rows"] == rows
+
+
+class TestMatrixProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 12),
+        steps=st.integers(1, 30),
+        seed=st.integers(0, 2**31),
+    )
+    def test_arbitrary_pair_products_doubly_stochastic(self, n, steps, seed):
+        rng = make_rng(seed)
+        pairs = []
+        for _ in range(steps):
+            i = int(rng.integers(0, n))
+            j = int(rng.integers(0, n - 1))
+            j = j + 1 if j >= i else j
+            pairs.append((i, j))
+        assert is_doubly_stochastic(cycle_matrix(n, pairs))
+
+
+class TestRobustProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        instances=st.integers(1, 6),
+        cycles=st.integers(0, 6),
+        seed=st.integers(0, 2**31),
+    )
+    def test_every_instance_conserves_mass(self, instances, cycles, seed):
+        values = np.linspace(-5.0, 5.0, 40)
+        averager = RobustAverager(
+            CompleteTopology(40), values, instances=instances, seed=seed
+        )
+        averager.run(cycles)
+        for state in averager._state:
+            assert abs(sum(state) - values.sum()) < 1e-8

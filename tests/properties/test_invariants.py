@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These encode the paper's structural guarantees:
+
+* mass conservation — the elementary step and every full cycle conserve
+  the vector sum exactly, for *any* inputs (§3.2: "the elementary
+  variance reduction step … does not change the sum");
+* monotone variance — no pair sequence can increase the variance;
+* contraction — values stay within the initial [min, max] envelope;
+* aggregate algebra — AGGREGATE functions are symmetric and bounded.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.avg import GetPairRand, GetPairSeq, ValueVector, run_avg
+from repro.core import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+)
+from repro.topology import CompleteTopology
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+value_lists = st.lists(finite_floats, min_size=4, max_size=64)
+
+pair_indices = st.tuples(st.integers(0, 63), st.integers(0, 63))
+
+
+class TestElementaryStepProperties:
+    @given(values=value_lists, i=st.integers(0, 1000), j=st.integers(0, 1000))
+    def test_mass_conserved(self, values, i, j):
+        vec = ValueVector(values)
+        i, j = i % vec.n, j % vec.n
+        if i == j:
+            j = (j + 1) % vec.n
+        before = vec.total
+        vec.elementary_step(i, j)
+        assert math.isclose(vec.total, before, rel_tol=1e-12, abs_tol=1e-6)
+
+    @given(values=value_lists, i=st.integers(0, 1000), j=st.integers(0, 1000))
+    def test_variance_never_increases(self, values, i, j):
+        vec = ValueVector(values)
+        i, j = i % vec.n, j % vec.n
+        if i == j:
+            j = (j + 1) % vec.n
+        before = vec.variance
+        vec.elementary_step(i, j)
+        # tiny float-noise allowance scaled to the data magnitude
+        scale = max(abs(before), 1.0)
+        assert vec.variance <= before + 1e-9 * scale
+
+    @given(values=value_lists, i=st.integers(0, 1000), j=st.integers(0, 1000))
+    def test_envelope_contracts(self, values, i, j):
+        vec = ValueVector(values)
+        i, j = i % vec.n, j % vec.n
+        if i == j:
+            j = (j + 1) % vec.n
+        low, high = vec.values.min(), vec.values.max()
+        vec.elementary_step(i, j)
+        assert vec.values.min() >= low - 1e-9 * max(abs(low), 1.0)
+        assert vec.values.max() <= high + 1e-9 * max(abs(high), 1.0)
+
+
+class TestFullRunProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(finite_floats, min_size=4, max_size=40),
+        cycles=st.integers(0, 5),
+        seed=st.integers(0, 2**31),
+    )
+    def test_run_conserves_mean_seq(self, values, cycles, seed):
+        vec = ValueVector(values)
+        initial_mean = vec.mean
+        run_avg(vec, GetPairSeq(CompleteTopology(vec.n)), cycles, seed=seed)
+        assert math.isclose(
+            vec.mean, initial_mean, rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(finite_floats, min_size=4, max_size=40),
+        cycles=st.integers(1, 5),
+        seed=st.integers(0, 2**31),
+    )
+    def test_run_variance_monotone_rand(self, values, cycles, seed):
+        vec = ValueVector(values)
+        result = run_avg(
+            vec, GetPairRand(CompleteTopology(vec.n)), cycles, seed=seed
+        )
+        variances = result.variances
+        scale = max(variances[0], 1.0)
+        assert np.all(np.diff(variances) <= 1e-9 * scale)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(finite_floats, min_size=4, max_size=40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_envelope_holds_across_run(self, values, seed):
+        vec = ValueVector(values)
+        low, high = vec.values.min(), vec.values.max()
+        run_avg(vec, GetPairSeq(CompleteTopology(vec.n)), 4, seed=seed)
+        margin = 1e-9 * max(abs(low), abs(high), 1.0)
+        assert vec.values.min() >= low - margin
+        assert vec.values.max() <= high + margin
+
+
+class TestAggregateProperties:
+    @given(x=finite_floats, y=finite_floats)
+    def test_mean_symmetric(self, x, y):
+        agg = MeanAggregate()
+        assert agg.combine(x, y) == agg.combine(y, x)
+
+    @given(x=finite_floats, y=finite_floats)
+    def test_mean_between_inputs(self, x, y):
+        combined = MeanAggregate().combine(x, y)
+        assert min(x, y) <= combined <= max(x, y)
+
+    @given(x=finite_floats, y=finite_floats)
+    def test_max_is_one_of_inputs(self, x, y):
+        assert MaxAggregate().combine(x, y) in (x, y)
+
+    @given(x=finite_floats, y=finite_floats)
+    def test_max_ge_min(self, x, y):
+        assert MaxAggregate().combine(x, y) >= MinAggregate().combine(x, y)
+
+    @given(x=finite_floats)
+    def test_aggregates_idempotent(self, x):
+        for agg in (MeanAggregate(), MaxAggregate(), MinAggregate()):
+            assert agg.combine(x, x) == x
+
+    @given(x=finite_floats, y=finite_floats, z=finite_floats)
+    def test_max_associative(self, x, y, z):
+        agg = MaxAggregate()
+        assert agg.combine(agg.combine(x, y), z) == agg.combine(
+            x, agg.combine(y, z)
+        )

@@ -1,0 +1,47 @@
+"""Tests for simulator.clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import DriftingClock, PerfectClock
+
+
+class TestPerfectClock:
+    def test_identity(self):
+        clock = PerfectClock()
+        assert clock.local_time(5.0) == 5.0
+        assert clock.global_time(5.0) == 5.0
+
+    def test_duration(self):
+        assert PerfectClock().local_duration_to_global(3.0) == 3.0
+
+
+class TestDriftingClock:
+    def test_offset(self):
+        clock = DriftingClock(offset=2.0)
+        assert clock.local_time(0.0) == 2.0
+        assert clock.global_time(2.0) == 0.0
+
+    def test_rate(self):
+        clock = DriftingClock(rate=2.0)
+        assert clock.local_time(3.0) == 6.0
+        assert clock.global_time(6.0) == 3.0
+
+    def test_roundtrip(self):
+        clock = DriftingClock(rate=1.0001, offset=-0.5)
+        for t in (0.0, 1.0, 123.456):
+            assert clock.global_time(clock.local_time(t)) == pytest.approx(t)
+
+    def test_fast_clock_shortens_global_wait(self):
+        # a fast clock (rate > 1) reaches a local deadline sooner
+        clock = DriftingClock(rate=2.0)
+        assert clock.local_duration_to_global(10.0) == pytest.approx(5.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftingClock(rate=0.0)
+
+    def test_properties(self):
+        clock = DriftingClock(rate=1.5, offset=0.25)
+        assert clock.rate == 1.5
+        assert clock.offset == 0.25

@@ -1,0 +1,110 @@
+"""Tests for simulator.engine — the discrete-event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import EventDrivenSimulator
+
+
+class TestScheduling:
+    def test_schedule_after_advances_time(self):
+        engine = EventDrivenSimulator()
+        times = []
+        engine.schedule_after(5.0, lambda: times.append(engine.now))
+        engine.run_until(10.0)
+        assert times == [5.0]
+        assert engine.now == 10.0
+
+    def test_schedule_at_absolute(self):
+        engine = EventDrivenSimulator()
+        times = []
+        engine.schedule_at(3.0, lambda: times.append(engine.now))
+        engine.run_until(5.0)
+        assert times == [3.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = EventDrivenSimulator()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventDrivenSimulator().schedule_after(-1.0, lambda: None)
+
+    def test_backwards_horizon_rejected(self):
+        engine = EventDrivenSimulator()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+
+class TestExecution:
+    def test_events_beyond_horizon_wait(self):
+        engine = EventDrivenSimulator()
+        fired = []
+        engine.schedule_after(1.0, lambda: fired.append(1))
+        engine.schedule_after(9.0, lambda: fired.append(9))
+        engine.run_until(5.0)
+        assert fired == [1]
+        engine.run_until(10.0)
+        assert fired == [1, 9]
+
+    def test_cascading_events(self):
+        engine = EventDrivenSimulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_after(1.0, lambda: fired.append("second"))
+
+        engine.schedule_after(1.0, first)
+        engine.run_until(3.0)
+        assert fired == ["first", "second"]
+
+    def test_counts(self):
+        engine = EventDrivenSimulator()
+        for _ in range(4):
+            engine.schedule_after(1.0, lambda: None)
+        engine.schedule_after(99.0, lambda: None)
+        executed = engine.run_until(2.0)
+        assert executed == 4
+        assert engine.processed_events == 4
+        assert engine.pending_events == 1
+
+    def test_max_events_guard(self):
+        engine = EventDrivenSimulator()
+
+        def rescheduling():
+            engine.schedule_after(0.0, rescheduling)
+
+        engine.schedule_after(0.0, rescheduling)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0, max_events=100)
+
+    def test_run_until_idle(self):
+        engine = EventDrivenSimulator()
+        fired = []
+        engine.schedule_after(1.0, lambda: fired.append(1))
+        engine.schedule_after(2.0, lambda: fired.append(2))
+        executed = engine.run_until_idle()
+        assert executed == 2
+        assert fired == [1, 2]
+
+    def test_run_until_idle_guard(self):
+        engine = EventDrivenSimulator()
+
+        def rescheduling():
+            engine.schedule_after(1.0, rescheduling)
+
+        engine.schedule_after(0.0, rescheduling)
+        with pytest.raises(SimulationError):
+            engine.run_until_idle(max_events=50)
+
+    def test_deterministic_same_time_order(self):
+        engine = EventDrivenSimulator()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(1.0, lambda: order.append("b"))
+        engine.run_until(1.0)
+        assert order == ["a", "b"]

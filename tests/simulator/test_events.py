@@ -1,0 +1,72 @@
+"""Tests for simulator.events — the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.push(1.0, lambda t=tag: order.append(t))
+        while queue:
+            queue.pop().callback()
+        assert order == ["first", "second", "third"]
+
+    def test_nan_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.push(1.0, lambda: fired.append(1))
+        handle.cancel()
+        assert queue.pop() is None
+        assert fired == []
+
+    def test_cancel_middle_event(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("a"))
+        handle = queue.push(2.0, lambda: fired.append("b"))
+        queue.push(3.0, lambda: fired.append("c"))
+        handle.cancel()
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "c"]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue

@@ -1,0 +1,55 @@
+"""Tests for simulator.metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import MetricsRecorder, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        series = TimeSeries("variance")
+        series.record(0.0, 1.0)
+        series.record(1.0, 0.5)
+        times, values = series.as_arrays()
+        assert times.tolist() == [0.0, 1.0]
+        assert values.tolist() == [1.0, 0.5]
+
+    def test_monotone_time_enforced(self):
+        series = TimeSeries("x")
+        series.record(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            series.record(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries("x")
+        series.record(1.0, 0.0)
+        series.record(1.0, 1.0)
+        assert len(series) == 2
+
+    def test_last(self):
+        series = TimeSeries("x")
+        series.record(0.0, 42.0)
+        assert series.last() == 42.0
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries("x").last()
+
+
+class TestMetricsRecorder:
+    def test_auto_creates_series(self):
+        recorder = MetricsRecorder()
+        recorder.record("a", 0.0, 1.0)
+        assert "a" in recorder
+        assert recorder.series("a").last() == 1.0
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRecorder().series("missing")
+
+    def test_names_sorted(self):
+        recorder = MetricsRecorder()
+        recorder.record("b", 0.0, 1.0)
+        recorder.record("a", 0.0, 1.0)
+        assert recorder.names() == ["a", "b"]

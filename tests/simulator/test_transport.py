@@ -1,0 +1,122 @@
+"""Tests for simulator.transport — latency and loss models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import (
+    BernoulliLoss,
+    ConstantLatency,
+    EventDrivenSimulator,
+    ExponentialLatency,
+    NoLoss,
+    Transport,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def engine():
+    return EventDrivenSimulator()
+
+
+def make_transport(engine, inbox, **kwargs):
+    return Transport(engine, inbox.append, seed=1, **kwargs)
+
+
+class TestLatencyModels:
+    def test_constant(self, rng):
+        assert ConstantLatency(0.5).sample(rng) == 0.5
+
+    def test_constant_default_zero(self, rng):
+        assert ConstantLatency().sample(rng) == 0.0
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_bounds(self, rng):
+        model = UniformLatency(0.1, 0.2)
+        samples = [model.sample(rng) for _ in range(100)]
+        assert all(0.1 <= s <= 0.2 for s in samples)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.3, 0.2)
+
+    def test_exponential_mean(self, rng):
+        model = ExponentialLatency(2.0)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLatency(0.0)
+
+
+class TestLossModels:
+    def test_no_loss(self, rng):
+        assert not any(NoLoss().is_lost(rng) for _ in range(100))
+
+    def test_bernoulli_rate(self, rng):
+        model = BernoulliLoss(0.3)
+        losses = sum(model.is_lost(rng) for _ in range(10000))
+        assert losses == pytest.approx(3000, rel=0.1)
+
+    def test_bernoulli_extremes(self, rng):
+        assert not BernoulliLoss(0.0).is_lost(rng)
+        assert BernoulliLoss(1.0).is_lost(rng)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5)
+
+
+class TestTransport:
+    def test_zero_latency_delivery(self, engine):
+        inbox = []
+        transport = make_transport(engine, inbox)
+        transport.send(1, 2, "hello")
+        engine.run_until(0.0)
+        assert len(inbox) == 1
+        message = inbox[0]
+        assert (message.source, message.destination, message.payload) == (
+            1, 2, "hello",
+        )
+
+    def test_latency_delays_delivery(self, engine):
+        inbox = []
+        transport = make_transport(engine, inbox, latency=ConstantLatency(1.5))
+        transport.send(0, 1, "x")
+        engine.run_until(1.0)
+        assert inbox == []
+        engine.run_until(2.0)
+        assert len(inbox) == 1
+
+    def test_sent_at_recorded(self, engine):
+        inbox = []
+        transport = make_transport(engine, inbox, latency=ConstantLatency(1.0))
+        engine.schedule_after(2.0, lambda: transport.send(0, 1, "y"))
+        engine.run_until(5.0)
+        assert inbox[0].sent_at == 2.0
+
+    def test_total_loss_drops_everything(self, engine):
+        inbox = []
+        transport = make_transport(engine, inbox, loss=BernoulliLoss(1.0))
+        for _ in range(10):
+            transport.send(0, 1, "z")
+        engine.run_until(1.0)
+        assert inbox == []
+        assert transport.lost_count == 10
+        assert transport.sent_count == 10
+        assert transport.delivered_count == 0
+
+    def test_counters_consistent(self, engine):
+        inbox = []
+        transport = make_transport(engine, inbox, loss=BernoulliLoss(0.5))
+        for _ in range(200):
+            transport.send(0, 1, "w")
+        engine.run_until(1.0)
+        assert transport.sent_count == 200
+        assert transport.lost_count + transport.delivered_count == 200
+        assert len(inbox) == transport.delivered_count

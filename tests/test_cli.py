@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [["rates"], ["figure3a"], ["figure4"], ["monitor"]],
+    )
+    def test_known_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestExecution:
+    def test_rates_output(self, capsys):
+        code = main(["rates", "--n", "200", "--runs", "2", "--cycles", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pm" in out
+        assert "seq" in out
+        assert "0.25" in out  # the theory column
+
+    def test_figure3a_output(self, capsys):
+        code = main(["figure3a", "--runs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out
+        assert "316" in out
+
+    def test_figure4_output(self, capsys):
+        code = main(["figure4", "--n", "300", "--cycles", "60", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "estimate" in out
+
+    def test_monitor_output(self, capsys):
+        code = main(["monitor", "--n", "300", "--cycles", "20", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network size" in out
+        assert "total" in out

@@ -1,0 +1,60 @@
+"""Smoke tests: the shipped examples must run and print sane output.
+
+Only the fast examples run in the regular suite; the heavier ones are
+exercised implicitly by the equivalent integration tests.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    """Execute an example script in-process and capture stdout."""
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "true average" in out
+        assert "worst node error" in out
+
+    def test_membership_stack(self):
+        out = run_example("membership_stack.py")
+        assert "empirical per-cycle reduction" in out
+        # the printed empirical rate is in the random-overlay ballpark
+        line = [l for l in out.splitlines()
+                if "empirical per-cycle reduction" in l][0]
+        rate = float(line.split(":")[1])
+        assert 0.25 < rate < 0.40
+
+    def test_adaptive_monitoring(self):
+        out = run_example("adaptive_monitoring.py")
+        assert "proactive aggregation" in out
+        assert "300 nodes" in out
+
+    def test_all_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "size_estimation.py",
+            "grid_monitoring.py",
+            "membership_stack.py",
+            "churn_robustness.py",
+            "adaptive_monitoring.py",
+        } <= names

@@ -1,0 +1,80 @@
+"""Tests for topology.analysis — connectivity, degrees, diameter."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    AdjacencyTopology,
+    CompleteTopology,
+    RingTopology,
+    connected_components,
+    clustering_coefficient,
+    degree_statistics,
+    estimate_diameter,
+    is_connected,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        topo = RingTopology(10, 2)
+        comps = connected_components(topo)
+        assert len(comps) == 1
+        assert comps[0] == list(range(10))
+
+    def test_two_components(self):
+        topo = AdjacencyTopology.from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        comps = connected_components(topo)
+        assert len(comps) == 2
+        assert comps[0] == [2, 3, 4]  # largest first
+        assert comps[1] == [0, 1]
+
+    def test_isolated_nodes(self):
+        topo = AdjacencyTopology([[], [], []])
+        assert len(connected_components(topo)) == 3
+
+    def test_is_connected(self):
+        assert is_connected(CompleteTopology(5))
+        assert not is_connected(AdjacencyTopology([[], []]))
+
+
+class TestDegreeStatistics:
+    def test_regular(self):
+        stats = degree_statistics(RingTopology(10, 4))
+        assert stats.is_regular
+        assert stats.mean == 4.0
+        assert stats.std == 0.0
+
+    def test_irregular(self):
+        topo = AdjacencyTopology.from_edges(3, [(0, 1), (0, 2)])
+        stats = degree_statistics(topo)
+        assert stats.minimum == 1
+        assert stats.maximum == 2
+        assert not stats.is_regular
+
+
+class TestClustering:
+    def test_complete_graph_fully_clustered(self):
+        topo = CompleteTopology(6)
+        assert clustering_coefficient(topo, 0) == pytest.approx(1.0)
+
+    def test_tree_unclustered(self):
+        topo = AdjacencyTopology.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert clustering_coefficient(topo, 0) == 0.0
+
+    def test_degree_below_two_is_zero(self):
+        topo = AdjacencyTopology.from_edges(2, [(0, 1)])
+        assert clustering_coefficient(topo, 0) == 0.0
+
+
+class TestDiameter:
+    def test_complete_graph(self):
+        assert estimate_diameter(CompleteTopology(20), seed=1) == 1
+
+    def test_ring_diameter(self):
+        # exact diameter of a 10-cycle is 5; sampled estimate reaches it
+        assert estimate_diameter(RingTopology(10, 2), samples=10, seed=1) == 5
+
+    def test_disconnected_raises(self):
+        with pytest.raises(TopologyError):
+            estimate_diameter(AdjacencyTopology([[], []]))

@@ -1,0 +1,130 @@
+"""Tests for topology.base — AdjacencyTopology validation and queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import AdjacencyTopology
+
+
+def triangle():
+    return AdjacencyTopology([[1, 2], [0, 2], [0, 1]])
+
+
+class TestConstruction:
+    def test_n(self):
+        assert triangle().n == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([[0, 1], [0]])
+
+    def test_asymmetry_rejected(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([[1], []])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([[5], [0]])
+
+    def test_duplicate_neighbors_deduped(self):
+        topo = AdjacencyTopology([[1, 1], [0, 0]])
+        assert topo.degree(0) == 1
+
+    def test_from_edges(self):
+        topo = AdjacencyTopology.from_edges(3, [(0, 1), (1, 2)])
+        assert topo.degree(1) == 2
+        assert topo.degree(0) == 1
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology.from_edges(2, [(1, 1)])
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology.from_edges(2, [(0, 5)])
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        topo = AdjacencyTopology([[2, 1], [0], [0]])
+        assert topo.neighbors(0).tolist() == [1, 2]
+
+    def test_degree(self):
+        assert triangle().degree(0) == 2
+
+    def test_node_range_checked(self):
+        with pytest.raises(TopologyError):
+            triangle().neighbors(3)
+        with pytest.raises(TopologyError):
+            triangle().degree(-1)
+
+    def test_has_edge(self):
+        topo = AdjacencyTopology.from_edges(3, [(0, 1)])
+        assert topo.has_edge(0, 1)
+        assert topo.has_edge(1, 0)
+        assert not topo.has_edge(0, 2)
+
+    def test_edge_count(self):
+        assert triangle().edge_count() == 3
+
+    def test_edges_iteration(self):
+        assert sorted(triangle().edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_read_only(self):
+        arr = triangle().edge_array()
+        with pytest.raises(ValueError):
+            arr[0, 0] = 9
+
+
+class TestRandomQueries:
+    def test_random_neighbor_valid(self, rng):
+        topo = triangle()
+        for _ in range(50):
+            assert topo.random_neighbor(0, rng) in (1, 2)
+
+    def test_random_neighbor_isolated_raises(self, rng):
+        topo = AdjacencyTopology([[1], [0], []])
+        with pytest.raises(TopologyError):
+            topo.random_neighbor(2, rng)
+
+    def test_random_edge_valid(self, rng):
+        topo = triangle()
+        for _ in range(20):
+            i, j = topo.random_edge(rng)
+            assert topo.has_edge(i, j)
+
+    def test_random_edge_empty_raises(self, rng):
+        topo = AdjacencyTopology([[], []])
+        with pytest.raises(TopologyError):
+            topo.random_edge(rng)
+
+    def test_random_neighbor_array_matches_topology(self, rng):
+        topo = triangle()
+        nodes = np.array([0, 1, 2, 0])
+        partners = topo.random_neighbor_array(nodes, rng)
+        for node, partner in zip(nodes, partners):
+            assert topo.has_edge(int(node), int(partner))
+
+
+class TestNeighborMatrix:
+    def test_regular_graph_matrix(self):
+        topo = triangle()
+        matrix = topo.neighbor_matrix()
+        assert matrix.shape == (3, 2)
+
+    def test_irregular_graph_raises(self):
+        topo = AdjacencyTopology.from_edges(3, [(0, 1)])
+        with pytest.raises(TopologyError):
+            topo.neighbor_matrix()
+
+    def test_irregular_random_neighbor_array_fallback(self, rng):
+        topo = AdjacencyTopology.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+        nodes = np.array([0, 1, 2, 3])
+        partners = topo.random_neighbor_array(nodes, rng)
+        for node, partner in zip(nodes, partners):
+            assert topo.has_edge(int(node), int(partner))
