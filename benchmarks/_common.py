@@ -12,11 +12,13 @@ plots) and archives them under ``benchmarks/out/``.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def paper_scale() -> bool:
@@ -91,3 +93,12 @@ def emit(name: str, text: str, capsys) -> None:
             print(text)
     else:  # pragma: no cover - direct invocation
         print(text)
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Archive a machine-readable benchmark result as
+    ``BENCH_<name>.json`` at the repository root (the artifact CI
+    uploads and trend tooling diffs). Returns the path written."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import Table
+from repro.analysis import Table, replicate_scenario
 from repro.avg import RATE_SEQ, fit_geometric_rate, rate_seq_with_loss
 from repro.core import GossipNetwork
-from repro.rng import spawn_streams
+from repro.failures import CrashPlan
+from repro.kernel import Scenario, run_scenario
+from repro.rng import make_rng, spawn_streams
 from repro.simulator import BernoulliLoss
-from repro.simulator.cycle_sim import CycleSimulator
 from repro.topology import CompleteTopology
 
 from _common import emit, paper_scale
@@ -39,15 +40,17 @@ CRASH_FRACTIONS = (0.0, 0.1, 0.3, 0.5)
 
 
 def loss_rate_row(loss, seed):
-    rates = []
-    for rng in spawn_streams(seed, RUNS):
-        values = rng.normal(0.0, 1.0, N)
-        sim = CycleSimulator(
-            CompleteTopology(N), values, loss_probability=loss, seed=rng
-        )
-        result = sim.run(12)
-        rates.append(fit_geometric_rate(result.variance_array))
-    return float(np.mean(rates))
+    scenario = Scenario(
+        CompleteTopology(N),
+        make_rng(seed).normal(0.0, 1.0, N),
+        loss_probability=loss,
+        cycles=12,
+        seed=seed,
+    )
+    replicated = replicate_scenario(scenario, runs=RUNS)
+    return float(np.mean(
+        [fit_geometric_rate(run.variance_array()) for run in replicated.outputs]
+    ))
 
 
 def crash_bias_row(fraction, seed):
@@ -57,12 +60,16 @@ def crash_bias_row(fraction, seed):
     for rng in spawn_streams(seed, RUNS):
         values = rng.normal(10.0, 4.0, N)
         true_mean = float(values.mean())
-        sim = CycleSimulator(CompleteTopology(N), values, seed=rng)
-        sim.run(1)  # one mixing cycle before the failure
         victims = rng.choice(N, size=int(N * fraction), replace=False)
-        sim.crash(victims.tolist())
-        sim.run(20)
-        biases.append(abs(sim.mean() - true_mean))
+        plan = CrashPlan()
+        if len(victims):
+            plan.add(1, victims.tolist())  # one mixing cycle, then crash
+        scenario = Scenario(
+            CompleteTopology(N), values, crash_plan=plan,
+            cycles=21, seed=rng,
+        )
+        result = run_scenario(scenario)
+        biases.append(abs(result.mean_array()[-1] - true_mean))
     return float(np.mean(biases))
 
 

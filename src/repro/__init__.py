@@ -75,6 +75,15 @@ from .core import (
     AggregationReport,
     RobustAverager,
 )
+from .kernel import (
+    Scenario,
+    GossipEngine,
+    KernelRunResult,
+    run_scenario,
+    ExecutionBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+)
 from .simulator import EventDrivenSimulator
 from .simulator.cycle_sim import CycleSimulator
 from .membership import StaticMembership, NewscastMembership
@@ -141,6 +150,13 @@ __all__ = [
     "AggregationService",
     "AggregationReport",
     "RobustAverager",
+    "Scenario",
+    "GossipEngine",
+    "KernelRunResult",
+    "run_scenario",
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
     "EventDrivenSimulator",
     "CycleSimulator",
     "StaticMembership",

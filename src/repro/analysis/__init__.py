@@ -6,7 +6,13 @@ from .stats import (
     confidence_interval,
     geometric_mean,
 )
-from .runner import replicate, sweep, ReplicateResult
+from .runner import (
+    replicate,
+    replicate_scenario,
+    sweep,
+    sweep_scenario,
+    ReplicateResult,
+)
 from .reporting import format_table, format_series, Table
 from .validation import (
     chi_square_statistic,
@@ -23,7 +29,9 @@ __all__ = [
     "confidence_interval",
     "geometric_mean",
     "replicate",
+    "replicate_scenario",
     "sweep",
+    "sweep_scenario",
     "ReplicateResult",
     "format_table",
     "format_series",

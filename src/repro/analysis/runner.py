@@ -4,6 +4,12 @@ Experiments in the paper are "averages over 50 independent runs";
 :func:`replicate` runs an experiment function once per independent seed
 stream and collects the outputs, and :func:`sweep` crosses that with a
 parameter axis (e.g. network size for Figure 3(a)).
+
+Kernel-native entry points: :func:`replicate_scenario` replicates one
+declarative :class:`~repro.kernel.Scenario` across independent seed
+streams, and :func:`sweep_scenario` crosses a scenario factory with a
+parameter axis (see e.g. the A2 failure ablation in
+``benchmarks/bench_ablation_failures.py``).
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from typing import Any, Callable, Dict, List, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..kernel.engine import run_scenario
+from ..kernel.scenario import Scenario
 from ..rng import SeedLike, spawn_streams
 
 
@@ -68,4 +76,46 @@ def sweep(
         for rng in spawn_streams(point_rng, runs):
             result.outputs.append(experiment(parameter, rng))
         outcomes[parameter] = result
+    return outcomes
+
+
+def replicate_scenario(
+    scenario: Scenario,
+    *,
+    runs: int,
+    seed: SeedLike = None,
+) -> ReplicateResult:
+    """Run one kernel scenario once per independent seed stream.
+
+    Each run executes a copy of ``scenario`` re-seeded from the master
+    ``seed`` (default: the scenario's own seed), so runs are independent
+    and the whole replication is reproducible from one integer. Outputs
+    are :class:`~repro.kernel.KernelRunResult` objects.
+    """
+    if runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs}")
+    master = scenario.seed if seed is None else seed
+    result = ReplicateResult()
+    for rng in spawn_streams(master, runs):
+        result.outputs.append(run_scenario(scenario.replace(seed=rng)))
+    return result
+
+
+def sweep_scenario(
+    factory: Callable[[Any], Scenario],
+    parameters: Sequence[Any],
+    *,
+    runs: int,
+    seed: SeedLike = None,
+) -> Dict[Any, ReplicateResult]:
+    """Cross a scenario factory with a parameter axis (e.g. network
+    size), replicating each point over independent seed streams."""
+    if len(parameters) == 0:
+        raise ConfigurationError("parameter axis is empty")
+    outcomes: Dict[Any, ReplicateResult] = {}
+    point_seeds = spawn_streams(seed, len(parameters))
+    for parameter, point_rng in zip(parameters, point_seeds):
+        outcomes[parameter] = replicate_scenario(
+            factory(parameter), runs=runs, seed=point_rng
+        )
     return outcomes

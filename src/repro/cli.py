@@ -6,6 +6,7 @@ Usage::
     python -m repro figure3a              # Figure 3(a) series
     python -m repro figure4 --cycles 300  # Figure 4, scaled
     python -m repro monitor --n 2000      # AggregationService demo
+    python -m repro scale --n 100000      # kernel backend comparison
 
 Each subcommand prints the same rows the corresponding benchmark
 archives, with small default sizes so it completes in seconds.
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -32,6 +34,8 @@ from .avg import (
 from .core import SizeEstimationConfig, SizeEstimationExperiment
 from .core.service import AggregationService
 from .failures import OscillatingChurn
+from .kernel import BACKEND_NAMES, GossipEngine, Scenario
+from .rng import make_rng
 from .topology import CompleteTopology, RandomRegularTopology
 
 _SELECTORS = {
@@ -112,11 +116,47 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Run one kernel scenario per requested backend and compare."""
+    values = make_rng(args.seed).normal(10.0, 4.0, args.n)
+    topology = CompleteTopology(args.n)
+    backends = (
+        ["reference", "vectorized"] if args.backend == "both" else [args.backend]
+    )
+    table = Table(
+        headers=["backend", "cycles", "seconds", "final variance"],
+        title=f"Gossip kernel backends, N={args.n} (same seed, same draws)",
+    )
+    for backend in backends:
+        scenario = Scenario(
+            topology,
+            values,
+            loss_probability=args.loss,
+            cycles=args.cycles,
+            seed=args.seed,
+            backend=backend,
+        )
+        engine = GossipEngine(scenario)
+        start = time.perf_counter()
+        result = engine.run(record="end")
+        elapsed = time.perf_counter() - start
+        table.add_row(
+            engine.backend_name,
+            args.cycles,
+            elapsed,
+            result.variance_array()[-1],
+        )
+    print(table.render())
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     topology = RandomRegularTopology(args.n, 20, seed=args.seed)
     values = rng.lognormal(3.0, 0.7, args.n)
-    service = AggregationService(topology, values, seed=args.seed)
+    service = AggregationService(
+        topology, values, seed=args.seed, backend=args.backend
+    )
     report = service.run(cycles=args.cycles)
     table = Table(
         headers=["aggregate", "estimate", "ground truth"],
@@ -159,7 +199,24 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--n", type=int, default=1000)
     monitor.add_argument("--cycles", type=int, default=30)
     monitor.add_argument("--seed", type=int, default=9)
+    monitor.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="auto",
+        help="kernel execution backend",
+    )
     monitor.set_defaults(func=_cmd_monitor)
+
+    scale_cmd = sub.add_parser(
+        "scale", help="time the kernel backends on one scenario"
+    )
+    scale_cmd.add_argument("--n", type=int, default=100000)
+    scale_cmd.add_argument("--cycles", type=int, default=10)
+    scale_cmd.add_argument("--loss", type=float, default=0.0)
+    scale_cmd.add_argument("--seed", type=int, default=11)
+    scale_cmd.add_argument(
+        "--backend", choices=list(BACKEND_NAMES) + ["both"], default="both",
+        help="backend to run, or 'both' to compare",
+    )
+    scale_cmd.set_defaults(func=_cmd_scale)
     return parser
 
 

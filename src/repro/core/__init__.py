@@ -32,7 +32,7 @@ from .size_estimation import (
     SizeEstimationExperiment,
     EpochReport,
 )
-from .multi import MultiAggregateState, combine_multi
+from .multi import MultiAggregateSpec, MultiAggregateState, combine_multi
 from .broadcast import (
     PushPullBroadcast,
     expected_rounds_push,
@@ -79,6 +79,7 @@ __all__ = [
     "SizeEstimationConfig",
     "SizeEstimationExperiment",
     "EpochReport",
+    "MultiAggregateSpec",
     "MultiAggregateState",
     "combine_multi",
 ]

@@ -43,6 +43,17 @@ class AggregateFunction(ABC):
     def combine(self, x: float, y: float) -> float:
         """The new shared approximation for a pair holding x and y."""
 
+    def combine_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`combine` over aligned value arrays.
+
+        The vectorized kernel backend applies a whole conflict-free
+        batch of exchanges through this method. Subclasses override it
+        with a closed-form numpy expression that is IEEE-identical to
+        the scalar ``combine``; this fallback routes each element
+        through the scalar path (correct for any combiner, but slow).
+        """
+        return np.frompyfunc(self.combine, 2, 1)(x, y).astype(np.float64)
+
     def __call__(self, x: float, y: float) -> float:
         return self.combine(x, y)
 
@@ -63,6 +74,10 @@ class MeanAggregate(AggregateFunction):
     def combine(self, x: float, y: float) -> float:
         return (x + y) / 2.0
 
+    def combine_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # (x + y) * 0.5 is bitwise equal to (x + y) / 2.0 in IEEE-754
+        return (x + y) * 0.5
+
 
 class MaxAggregate(AggregateFunction):
     """AGGREGATE_MAX: the true maximum spreads epidemically."""
@@ -72,6 +87,12 @@ class MaxAggregate(AggregateFunction):
     def combine(self, x: float, y: float) -> float:
         return x if x >= y else y
 
+    def combine_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # not np.maximum: the scalar path takes y when x is NaN and
+        # keeps x on a signed-zero tie, and backend equivalence is
+        # bitwise
+        return np.where(x >= y, x, y)
+
 
 class MinAggregate(AggregateFunction):
     """The dual of AGGREGATE_MAX."""
@@ -80,6 +101,11 @@ class MinAggregate(AggregateFunction):
 
     def combine(self, x: float, y: float) -> float:
         return x if x <= y else y
+
+    def combine_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # np.where, not np.minimum, to mirror the scalar tie/NaN
+        # behavior bitwise (see MaxAggregate)
+        return np.where(x <= y, x, y)
 
 
 class GeometricMeanAggregate(AggregateFunction):
@@ -96,6 +122,13 @@ class GeometricMeanAggregate(AggregateFunction):
                 f"geometric mean requires positive values, got ({x}, {y})"
             )
         return math.sqrt(x * y)
+
+    def combine_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if np.any(x <= 0) or np.any(y <= 0):
+            raise ConfigurationError(
+                "geometric mean requires positive values"
+            )
+        return np.sqrt(x * y)
 
 
 # ----------------------------------------------------------------------

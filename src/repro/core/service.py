@@ -3,21 +3,28 @@
 The library's "batteries included" entry point: given per-node values
 and an overlay, :class:`AggregationService` runs all the standard
 aggregates (mean, max, min, k-th moments, counting) as concurrent
-instances over the cycle-driven simulator and returns one consolidated
-report. This is the API shape a downstream monitoring system would
-embed; everything underneath is the paper's protocol.
+instances and returns one consolidated report. This is the API shape a
+downstream monitoring system would embed; everything underneath is the
+paper's protocol.
+
+Since the unified-kernel refactor the service runs **one**
+:class:`~repro.kernel.GossipEngine` pass over a five-column value
+matrix — every instance piggybacks on the same push-pull exchange, the
+§4 multi-instance rule — instead of re-simulating the network once per
+aggregate. At monitoring scale pass ``backend="vectorized"`` (or keep
+the default ``"auto"``) for the structure-of-arrays execution path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..kernel.engine import GossipEngine
 from ..rng import SeedLike, make_rng, spawn_streams
-from ..simulator.cycle_sim import CycleSimulator
 from ..topology.base import Topology
 from .aggregates import (
     MaxAggregate,
@@ -28,6 +35,7 @@ from .aggregates import (
     estimate_variance_from_moments,
     moment_values,
 )
+from .multi import MultiAggregateSpec
 
 
 @dataclass(frozen=True)
@@ -65,7 +73,7 @@ class AggregationReport:
 
 
 class AggregationService:
-    """Runs the full aggregate suite over one overlay.
+    """Runs the full aggregate suite over one overlay, in one pass.
 
     Parameters
     ----------
@@ -76,7 +84,11 @@ class AggregationService:
     loss_probability:
         Optional symmetric exchange-failure probability.
     seed:
-        Master seed; each protocol instance gets an independent stream.
+        Master seed (protocol randomness and the counting instance's
+        leader draw get independent streams).
+    backend:
+        Kernel execution backend (``"auto"``, ``"reference"`` or
+        ``"vectorized"``).
     """
 
     def __init__(
@@ -86,6 +98,7 @@ class AggregationService:
         *,
         loss_probability: float = 0.0,
         seed: SeedLike = None,
+        backend: str = "auto",
     ):
         if len(values) != topology.n:
             raise ConfigurationError(
@@ -95,6 +108,27 @@ class AggregationService:
         self.values = np.asarray(values, dtype=np.float64)
         self._loss = loss_probability
         self._seed = seed
+        self._backend = backend
+
+    def _spec(self, leader_stream) -> MultiAggregateSpec:
+        """The standard five-instance suite: mean, second moment, max,
+        min, and the §4 counting instance (one random leader holds 1)."""
+        n = self.topology.n
+        indicator = np.zeros(n)
+        indicator[int(make_rng(leader_stream).integers(0, n))] = 1.0
+        return MultiAggregateSpec.build(
+            {
+                "mean": MeanAggregate(),
+                "second_moment": MeanAggregate(),
+                "maximum": MaxAggregate(),
+                "minimum": MinAggregate(),
+                "count": MeanAggregate(),
+            },
+            initial={
+                "second_moment": moment_values(self.values, 2),
+                "count": indicator,
+            },
+        )
 
     def run(self, cycles: int = 30, *, probe_node: int = 0) -> AggregationReport:
         """Gossip for ``cycles`` cycles and report node ``probe_node``'s
@@ -105,43 +139,35 @@ class AggregationService:
             raise ConfigurationError(
                 f"probe_node {probe_node} outside range [0, {self.topology.n})"
             )
-        streams = spawn_streams(self._seed, 5)
-        n = self.topology.n
-
-        def simulate(initial, aggregate, rng):
-            sim = CycleSimulator(
-                self.topology,
-                initial,
-                aggregate=aggregate,
-                loss_probability=self._loss,
-                seed=rng,
-            )
-            sim.run(cycles)
-            return sim
-
-        mean_sim = simulate(self.values, MeanAggregate(), streams[0])
-        sq_sim = simulate(moment_values(self.values, 2), MeanAggregate(), streams[1])
-        max_sim = simulate(self.values, MaxAggregate(), streams[2])
-        min_sim = simulate(self.values, MinAggregate(), streams[3])
-        indicator = np.zeros(n)
-        indicator[int(make_rng(streams[4]).integers(0, n))] = 1.0
-        count_sim = simulate(indicator, MeanAggregate(), streams[4])
-
-        mean_estimate = float(mean_sim.all_values[probe_node])
-        second_moment = float(sq_sim.all_values[probe_node])
-        size_estimate = estimate_network_size(
-            max(float(count_sim.all_values[probe_node]), 1e-300)
+        protocol_stream, leader_stream = spawn_streams(self._seed, 2)
+        scenario = self._spec(leader_stream).scenario(
+            self.topology,
+            self.values,
+            loss_probability=self._loss,
+            seed=protocol_stream,
+            backend=self._backend,
+            cycles=cycles,
         )
+        engine = GossipEngine(scenario)
+        engine.run(cycles, record="end")
+
+        probe = {
+            name: float(engine.column(name)[probe_node])
+            for name in scenario.instance_names
+        }
+        mean_estimate = probe["mean"]
+        second_moment = probe["second_moment"]
+        size_estimate = estimate_network_size(max(probe["count"], 1e-300))
         return AggregationReport(
             mean=mean_estimate,
-            maximum=float(max_sim.all_values[probe_node]),
-            minimum=float(min_sim.all_values[probe_node]),
+            maximum=probe["maximum"],
+            minimum=probe["minimum"],
             second_moment=second_moment,
             network_size=size_estimate,
             total=estimate_sum(mean_estimate, size_estimate),
             value_variance=estimate_variance_from_moments(
                 mean_estimate, second_moment
             ),
-            variance_across_nodes=mean_sim.variance(),
+            variance_across_nodes=engine.variance("mean"),
             cycles=cycles,
         )

@@ -85,6 +85,14 @@ class PartitionSchedule:
             return False
         return self._assignment[i] != self._assignment[j]
 
+    def blocks_array(
+        self, cycle: int, i: np.ndarray, j: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`blocks` over aligned endpoint arrays."""
+        if not self.active_at(cycle):
+            return np.zeros(len(i), dtype=bool)
+        return self._assignment[i] != self._assignment[j]
+
     def groups(self) -> List[List[int]]:
         """The node-id lists per group."""
         count = int(self._assignment.max()) + 1

@@ -1,0 +1,42 @@
+"""The unified gossip kernel.
+
+One declarative :class:`Scenario` (overlay, values, concurrent
+aggregate instances, failure model, seed) executed by one
+:class:`GossipEngine` over pluggable
+:class:`~repro.kernel.backends.ExecutionBackend` implementations:
+
+* ``"reference"`` — sequential Python loops, the semantic oracle;
+* ``"vectorized"`` — numpy structure-of-arrays batched execution that
+  reproduces the reference trajectories bitwise while scaling to the
+  paper's N = 100 000 overlays and beyond.
+
+Both the cycle-driven simulator (:class:`repro.simulator.CycleSimulator`)
+and the aggregation facade (:class:`repro.core.AggregationService`) are
+thin shells over this layer.
+"""
+
+from .scenario import (
+    AUTO_VECTORIZE_THRESHOLD,
+    BACKEND_NAMES,
+    Scenario,
+)
+from .backends import (
+    ExecutionBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    make_backend,
+)
+from .engine import GossipEngine, KernelRunResult, run_scenario
+
+__all__ = [
+    "AUTO_VECTORIZE_THRESHOLD",
+    "BACKEND_NAMES",
+    "Scenario",
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "make_backend",
+    "GossipEngine",
+    "KernelRunResult",
+    "run_scenario",
+]

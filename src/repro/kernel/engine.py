@@ -1,0 +1,231 @@
+"""The unified gossip engine.
+
+:class:`GossipEngine` executes a :class:`~repro.kernel.scenario.Scenario`
+under the synchronous cycle model of §3: every alive node, in index
+order, contacts a random neighbor and both endpoints adopt
+``AGGREGATE(x_i, x_j)`` for *every* aggregation instance at once
+(GETPAIR_SEQ with §4 piggybacking). The engine owns everything
+stochastic and everything stateful:
+
+* node state as an ``(n, k)`` structure-of-arrays value matrix plus an
+  alive mask — one column per aggregation instance,
+* the cycle's randomness as two batched draws (one
+  ``random_neighbor_array`` call for partners, one ``Generator.random``
+  call for loss coins), identical no matter which backend executes, and
+* the failure machinery (crash plan, loss schedule, partition).
+
+What remains — applying the cycle's successful exchanges to the matrix
+— is delegated to a pluggable
+:class:`~repro.kernel.backends.ExecutionBackend`. Because backends see
+identical inputs and the vectorized backend preserves per-node exchange
+order, a scenario produces the same trajectory on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..rng import make_rng
+from .backends import ExecutionBackend, make_backend
+from .scenario import Scenario
+
+
+@dataclass
+class KernelRunResult:
+    """Per-cycle trajectories of one engine run, per instance."""
+
+    instance_names: Tuple[Hashable, ...]
+    variances: Dict[Hashable, List[float]] = field(default_factory=dict)
+    means: Dict[Hashable, List[float]] = field(default_factory=dict)
+    exchange_counts: List[int] = field(default_factory=list)
+    alive_counts: List[int] = field(default_factory=list)
+
+    @property
+    def primary(self) -> Hashable:
+        """The first (usually only) instance id."""
+        return self.instance_names[0]
+
+    def variance_array(self, name: Optional[Hashable] = None) -> np.ndarray:
+        """σ²₀ … σ²_T of one instance (default: the primary one)."""
+        return np.asarray(self.variances[self.primary if name is None else name])
+
+    def mean_array(self, name: Optional[Hashable] = None) -> np.ndarray:
+        """Per-cycle means of one instance (default: the primary one)."""
+        return np.asarray(self.means[self.primary if name is None else name])
+
+
+class GossipEngine:
+    """Cycle-driven execution of a :class:`Scenario`.
+
+    The engine is incremental: :meth:`run` may be called repeatedly and
+    :meth:`crash` may be invoked between runs, which is how the
+    robustness ablations inject mid-run failures.
+    """
+
+    def __init__(self, scenario: Scenario, *, trace=None):
+        self.scenario = scenario
+        self._names = scenario.instance_names
+        self._functions = scenario.functions
+        self._matrix = scenario.initial_matrix()
+        self._alive = np.ones(scenario.n, dtype=bool)
+        self._rng = make_rng(scenario.seed)
+        self._trace = trace
+        backend_name = scenario.resolve_backend()
+        if trace is not None:
+            if len(self._names) > 1:
+                raise SimulationError(
+                    "exchange tracing supports single-instance scenarios only"
+                )
+            # telemetry needs the sequential per-exchange path
+            backend_name = "reference"
+        self._backend: ExecutionBackend = make_backend(backend_name)
+        self.cycle = 0
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """The concrete backend executing this engine."""
+        return self._backend.name
+
+    @property
+    def instance_names(self) -> Tuple[Hashable, ...]:
+        """Instance ids in column order."""
+        return self._names
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The ``(n, k)`` value matrix (copy; includes crashed nodes)."""
+        return self._matrix.copy()
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Boolean alive mask (copy)."""
+        return self._alive.copy()
+
+    @property
+    def alive_count(self) -> int:
+        """Number of alive nodes."""
+        return int(self._alive.sum())
+
+    def _column_index(self, name: Optional[Hashable]) -> int:
+        if name is None:
+            return 0
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"no aggregation instance {name!r}; have {self._names}"
+            ) from None
+
+    def column(self, name: Optional[Hashable] = None) -> np.ndarray:
+        """One instance's approximations over *all* nodes (copy)."""
+        return self._matrix[:, self._column_index(name)].copy()
+
+    def alive_column(self, name: Optional[Hashable] = None) -> np.ndarray:
+        """One instance's approximations over alive nodes."""
+        return self._matrix[self._alive, self._column_index(name)]
+
+    def variance(self, name: Optional[Hashable] = None) -> float:
+        """Unbiased variance of alive approximations (eq. 3)."""
+        alive = self.alive_column(name)
+        if len(alive) < 2:
+            return 0.0
+        return float(alive.var(ddof=1))
+
+    def mean(self, name: Optional[Hashable] = None) -> float:
+        """Mean of alive approximations."""
+        return float(self.alive_column(name).mean())
+
+    # -- failure injection -----------------------------------------------
+
+    def crash(self, node_ids: Sequence[int]) -> None:
+        """Crash-stop nodes; their approximations leave the system."""
+        for node_id in node_ids:
+            if not 0 <= node_id < self.scenario.n:
+                raise ConfigurationError(f"node id {node_id} out of range")
+            self._alive[node_id] = False
+
+    # -- execution -------------------------------------------------------
+
+    def run_cycle(self) -> int:
+        """One synchronous cycle (every alive node initiates once, in
+        index order). Returns the number of successful exchanges."""
+        scenario = self.scenario
+        if scenario.crash_plan is not None:
+            victims = scenario.crash_plan.crashing_at(self.cycle)
+            if victims:
+                self.crash(victims)
+        rng = self._rng
+        initiators = np.nonzero(self._alive)[0]
+        partners = scenario.topology.random_neighbor_array(initiators, rng)
+        loss = scenario.loss_at(self.cycle)
+        # contacting a crashed neighbor fails the exchange
+        ok = self._alive[partners]
+        if loss > 0.0:
+            ok &= rng.random(len(initiators)) >= loss
+        partition = scenario.partition
+        if partition is not None and partition.active_at(self.cycle):
+            ok &= ~partition.blocks_array(self.cycle, initiators, partners)
+        self._backend.apply_exchanges(
+            self._matrix,
+            self._functions,
+            initiators[ok],
+            partners[ok],
+            cycle=self.cycle,
+            trace=self._trace,
+        )
+        self.cycle += 1
+        return int(ok.sum())
+
+    def run(
+        self, cycles: Optional[int] = None, *, record: str = "cycle"
+    ) -> KernelRunResult:
+        """Run ``cycles`` cycles (default: the scenario's budget).
+
+        ``record="cycle"`` captures per-instance variance and mean after
+        every cycle (the figures' trajectories); ``record="end"``
+        captures only the initial and final snapshot, keeping scale runs
+        free of per-cycle reduction passes.
+        """
+        if cycles is None:
+            cycles = self.scenario.cycles
+        if cycles < 0:
+            raise ConfigurationError(
+                f"cycles must be non-negative, got {cycles}"
+            )
+        if record not in ("cycle", "end"):
+            raise ConfigurationError(
+                f"record must be 'cycle' or 'end', got {record!r}"
+            )
+        result = KernelRunResult(instance_names=self._names)
+        for name in self._names:
+            result.variances[name] = [self.variance(name)]
+            result.means[name] = [self.mean(name)]
+        result.alive_counts.append(self.alive_count)
+        per_cycle = record == "cycle"
+        for _ in range(cycles):
+            exchanges = self.run_cycle()
+            if per_cycle:
+                for name in self._names:
+                    result.variances[name].append(self.variance(name))
+                    result.means[name].append(self.mean(name))
+                result.alive_counts.append(self.alive_count)
+            result.exchange_counts.append(exchanges)
+        if not per_cycle and cycles > 0:
+            for name in self._names:
+                result.variances[name].append(self.variance(name))
+                result.means[name].append(self.mean(name))
+            result.alive_counts.append(self.alive_count)
+        return result
+
+
+def run_scenario(
+    scenario: Scenario, *, cycles: Optional[int] = None, trace=None
+) -> KernelRunResult:
+    """Build an engine for ``scenario`` and run it to completion."""
+    return GossipEngine(scenario, trace=trace).run(cycles)

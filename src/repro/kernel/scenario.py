@@ -1,0 +1,188 @@
+"""Declarative experiment description consumed by the gossip kernel.
+
+A :class:`Scenario` is the single configuration object every execution
+layer understands: it names the overlay, the initial per-node values,
+the set of concurrent aggregation instances piggybacked on each
+exchange (§4's multi-instance rule), the failure model (message loss,
+crash-stop plan, partition schedule), the cycle budget, the seed, and
+which execution backend should run it. `CycleSimulator`,
+`AggregationService`, the CLI and the benchmark drivers all build a
+``Scenario`` and hand it to :class:`~repro.kernel.engine.GossipEngine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.aggregates import AggregateFunction, MeanAggregate
+from ..errors import ConfigurationError
+from ..failures.crash import CrashPlan
+from ..rng import SeedLike
+from ..topology.base import Topology
+
+#: backend names accepted by :attr:`Scenario.backend`
+BACKEND_NAMES = ("auto", "reference", "vectorized")
+
+#: ``auto`` switches to the vectorized backend at and above this size
+AUTO_VECTORIZE_THRESHOLD = 2048
+
+
+def _default_aggregates() -> Mapping[Hashable, AggregateFunction]:
+    return {"mean": MeanAggregate()}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One gossip experiment, fully specified.
+
+    Parameters
+    ----------
+    topology:
+        The overlay to gossip on.
+    values:
+        Per-node attribute values ``a_i`` (length ``topology.n``).
+    aggregates:
+        Ordered mapping of instance id → pairwise AGGREGATE function.
+        Every instance rides the *same* push-pull exchange (§4), so one
+        engine pass computes all of them. Defaults to a single
+        AGGREGATE_AVG instance named ``"mean"``.
+    initial:
+        Optional per-instance initial vectors overriding ``values``
+        (e.g. squared values for a second-moment instance, or the 0/1
+        indicator of the §4 counting instance).
+    loss_probability:
+        Probability that a given exchange fails entirely.
+    loss_schedule:
+        Optional cycle → loss-probability function; overrides
+        ``loss_probability`` when present.
+    crash_plan:
+        Optional :class:`~repro.failures.crash.CrashPlan`; victims crash
+        before their scheduled cycle executes.
+    partition:
+        Optional :class:`~repro.failures.partition.PartitionSchedule`.
+    cycles:
+        Default cycle budget for :func:`run_scenario`-style drivers.
+    seed:
+        RNG seed or generator for the whole run.
+    backend:
+        ``"reference"`` (sequential semantic oracle), ``"vectorized"``
+        (structure-of-arrays batched execution) or ``"auto"`` (pick by
+        network size).
+    """
+
+    topology: Topology
+    values: np.ndarray
+    aggregates: Mapping[Hashable, AggregateFunction] = field(
+        default_factory=_default_aggregates
+    )
+    initial: Optional[Mapping[Hashable, Sequence[float]]] = None
+    loss_probability: float = 0.0
+    loss_schedule: Optional[Callable[[int], float]] = None
+    crash_plan: Optional[CrashPlan] = None
+    partition: Optional[object] = None
+    cycles: int = 30
+    seed: SeedLike = None
+    backend: str = "auto"
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ConfigurationError(
+                f"values must be one-dimensional, got shape {values.shape}"
+            )
+        if len(values) != self.topology.n:
+            raise ConfigurationError(
+                f"got {len(values)} values for a topology of "
+                f"{self.topology.n} nodes"
+            )
+        object.__setattr__(self, "values", values)
+        if not self.aggregates:
+            raise ConfigurationError("scenario needs at least one aggregate")
+        for instance_id, function in self.aggregates.items():
+            if not isinstance(function, AggregateFunction):
+                raise ConfigurationError(
+                    f"aggregate {instance_id!r} is not an AggregateFunction"
+                )
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1], got "
+                f"{self.loss_probability}"
+            )
+        if self.initial is not None:
+            unknown = set(self.initial) - set(self.aggregates)
+            if unknown:
+                raise ConfigurationError(
+                    f"initial vectors for unknown instances: {sorted(map(str, unknown))}"
+                )
+        if self.cycles < 0:
+            raise ConfigurationError(
+                f"cycles must be non-negative, got {self.cycles}"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKEND_NAMES}"
+            )
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Network size."""
+        return self.topology.n
+
+    @property
+    def instance_names(self) -> Tuple[Hashable, ...]:
+        """Instance ids, in declaration order (column order of the
+        kernel's value matrix)."""
+        return tuple(self.aggregates)
+
+    @property
+    def functions(self) -> Tuple[AggregateFunction, ...]:
+        """AGGREGATE functions in column order."""
+        return tuple(self.aggregates.values())
+
+    def initial_matrix(self) -> np.ndarray:
+        """The ``(n, k)`` structure-of-arrays initial state: one column
+        per aggregation instance."""
+        columns = []
+        for name in self.instance_names:
+            if self.initial is not None and name in self.initial:
+                column = np.asarray(self.initial[name], dtype=np.float64)
+                if column.shape != (self.n,):
+                    raise ConfigurationError(
+                        f"initial vector for {name!r} has shape "
+                        f"{column.shape}, expected ({self.n},)"
+                    )
+            else:
+                column = self.values
+            columns.append(column)
+        return np.column_stack(columns).astype(np.float64, copy=True)
+
+    def loss_at(self, cycle: int) -> float:
+        """Effective loss probability at ``cycle``."""
+        if self.loss_schedule is not None:
+            p = float(self.loss_schedule(cycle))
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"loss schedule returned {p} at cycle {cycle}"
+                )
+            return p
+        return self.loss_probability
+
+    def resolve_backend(self) -> str:
+        """The concrete backend ``auto`` resolves to for this scenario."""
+        if self.backend != "auto":
+            return self.backend
+        if self.n >= AUTO_VECTORIZE_THRESHOLD:
+            return "vectorized"
+        return "reference"
+
+    def replace(self, **changes) -> "Scenario":
+        """A copy of this scenario with ``changes`` applied (the hook
+        replication/sweep drivers use to re-seed per run)."""
+        return dataclasses.replace(self, **changes)

@@ -7,9 +7,13 @@ GETPAIR_SEQ discipline of §3.3.3. Supports per-exchange message loss
 and crash-stop failures between cycles, which is how the A2 robustness
 ablation runs at scale.
 
-For AGGREGATE_AVG the inner loop uses a specialized tight path (plain
-Python lists); arbitrary :class:`AggregateFunction` objects go through
-the generic path.
+Since the unified-kernel refactor this class is a thin, API-stable
+shell over :class:`repro.kernel.GossipEngine`: it builds a
+single-instance :class:`~repro.kernel.Scenario` and delegates
+execution, which is how it gains the ``backend`` parameter — pass
+``backend="vectorized"`` (or leave the default ``"auto"`` at scale) to
+run the structure-of-arrays batched path that reproduces the
+sequential semantics bitwise.
 """
 
 from __future__ import annotations
@@ -21,7 +25,9 @@ import numpy as np
 
 from ..core.aggregates import AggregateFunction, MeanAggregate
 from ..errors import ConfigurationError
-from ..rng import SeedLike, make_rng
+from ..kernel.engine import GossipEngine
+from ..kernel.scenario import Scenario
+from ..rng import SeedLike
 from ..topology.base import Topology
 
 
@@ -56,6 +62,10 @@ class CycleSimulator:
         loss is only observable in the event-driven simulator.
     seed:
         RNG seed or generator.
+    backend:
+        Kernel execution backend: ``"reference"``, ``"vectorized"`` or
+        ``"auto"`` (default; picks by network size). Tracing forces the
+        reference backend.
     """
 
     def __init__(
@@ -68,120 +78,77 @@ class CycleSimulator:
         trace=None,
         partition=None,
         seed: SeedLike = None,
+        backend: str = "auto",
     ):
-        if len(values) != topology.n:
-            raise ConfigurationError(
-                f"got {len(values)} values for a topology of {topology.n} nodes"
-            )
-        if not 0.0 <= loss_probability <= 1.0:
-            raise ConfigurationError(
-                f"loss probability must be in [0, 1], got {loss_probability}"
-            )
         self.topology = topology
         self.aggregate = aggregate if aggregate is not None else MeanAggregate()
-        self._values: List[float] = [float(v) for v in values]
-        self._alive = np.ones(topology.n, dtype=bool)
-        self._loss = loss_probability
-        self._trace = trace  # optional ExchangeTrace; None = no telemetry
-        self._partition = partition  # optional PartitionSchedule
-        self._rng = make_rng(seed)
-        self.cycle = 0
+        scenario = Scenario(
+            topology,
+            np.asarray(values, dtype=np.float64),
+            aggregates={self.aggregate.name: self.aggregate},
+            loss_probability=loss_probability,
+            partition=partition,
+            seed=seed,
+            backend=backend,
+        )
+        self._engine = GossipEngine(scenario, trace=trace)
 
     # -- observation -----------------------------------------------------
 
     @property
+    def backend_name(self) -> str:
+        """The concrete kernel backend executing this simulator."""
+        return self._engine.backend_name
+
+    @property
+    def cycle(self) -> int:
+        """Number of completed cycles."""
+        return self._engine.cycle
+
+    @property
     def values(self) -> np.ndarray:
         """Approximations of *alive* nodes."""
-        return np.asarray(self._values)[self._alive]
+        return self._engine.alive_column()
 
     @property
     def all_values(self) -> np.ndarray:
         """Approximations of every node, including crashed ones."""
-        return np.asarray(self._values)
+        return self._engine.column()
 
     @property
     def alive_count(self) -> int:
         """Number of alive nodes."""
-        return int(self._alive.sum())
+        return self._engine.alive_count
 
     def variance(self) -> float:
         """Unbiased variance of alive approximations (eq. 3)."""
-        alive = self.values
-        if len(alive) < 2:
-            return 0.0
-        return float(alive.var(ddof=1))
+        return self._engine.variance()
 
     def mean(self) -> float:
         """Mean of alive approximations."""
-        return float(self.values.mean())
+        return self._engine.mean()
 
     # -- failure injection --------------------------------------------------
 
     def crash(self, node_ids: Sequence[int]) -> None:
         """Crash-stop nodes; their approximations leave the system."""
-        for node_id in node_ids:
-            if not 0 <= node_id < self.topology.n:
-                raise ConfigurationError(f"node id {node_id} out of range")
-            self._alive[node_id] = False
+        self._engine.crash(node_ids)
 
     # -- execution ---------------------------------------------------------
 
     def run_cycle(self) -> int:
         """One synchronous cycle (every alive node initiates once, in
         index order). Returns the number of successful exchanges."""
-        rng = self._rng
-        alive = self._alive
-        initiators = np.nonzero(alive)[0]
-        partners = self.topology.random_neighbor_array(initiators, rng)
-        losses = (
-            rng.random(len(initiators)) < self._loss
-            if self._loss > 0.0
-            else None
-        )
-        values = self._values
-        exchanges = 0
-        fast_mean = isinstance(self.aggregate, MeanAggregate) and self._trace is None
-        combine = self.aggregate.combine
-        trace = self._trace
-        partition = self._partition
-        partition_active = partition is not None and partition.active_at(self.cycle)
-        alive_list = alive.tolist()
-        for idx, (i, j) in enumerate(
-            zip(initiators.tolist(), partners.tolist())
-        ):
-            if not alive_list[j]:
-                continue  # contacted a crashed neighbor: exchange fails
-            if losses is not None and losses[idx]:
-                continue
-            if partition_active and partition.blocks(self.cycle, i, j):
-                continue  # exchange crosses the partition cut
-            if fast_mean:
-                midpoint = (values[i] + values[j]) * 0.5
-                values[i] = midpoint
-                values[j] = midpoint
-            else:
-                before_i, before_j = values[i], values[j]
-                combined = combine(before_i, before_j)
-                values[i] = combined
-                values[j] = combined
-                if trace is not None:
-                    trace.record(
-                        float(self.cycle), i, j, before_i, before_j, combined
-                    )
-            exchanges += 1
-        self.cycle += 1
-        return exchanges
+        return self._engine.run_cycle()
 
     def run(self, cycles: int) -> CycleRunResult:
         """Run ``cycles`` cycles, recording the variance trajectory."""
         if cycles < 0:
             raise ConfigurationError(f"cycles must be non-negative, got {cycles}")
-        result = CycleRunResult()
-        result.variances.append(self.variance())
-        result.means.append(self.mean())
-        for _ in range(cycles):
-            exchanges = self.run_cycle()
-            result.variances.append(self.variance())
-            result.means.append(self.mean())
-            result.exchange_counts.append(exchanges)
-        return result
+        kernel_result = self._engine.run(cycles)
+        name = kernel_result.primary
+        return CycleRunResult(
+            variances=kernel_result.variances[name],
+            means=kernel_result.means[name],
+            exchange_counts=kernel_result.exchange_counts,
+        )

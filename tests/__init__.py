@@ -1,0 +1,1 @@
+"""Test package (unique module names for pytest collection)."""

@@ -118,3 +118,43 @@ class TestDerivedEstimators:
         assert estimate_variance_from_moments(m1, m2) == pytest.approx(
             values.var()
         )
+
+
+class TestScalarVectorParity:
+    """combine_array must be bitwise-identical to the scalar combine —
+    the kernel's backend-equivalence contract rests on it — including
+    NaN and signed-zero corners where np.maximum/np.minimum differ."""
+
+    SPECIALS = [
+        (float("nan"), 1.0),
+        (1.0, float("nan")),
+        (-0.0, 0.0),
+        (0.0, -0.0),
+        (2.5, 2.5),
+        (-1.0, 3.0),
+    ]
+
+    @pytest.mark.parametrize(
+        "aggregate", [MeanAggregate(), MaxAggregate(), MinAggregate()],
+        ids=lambda a: a.name,
+    )
+    def test_specials_match_scalar_path(self, aggregate):
+        x = np.array([pair[0] for pair in self.SPECIALS])
+        y = np.array([pair[1] for pair in self.SPECIALS])
+        vector = aggregate.combine_array(x, y)
+        scalar = np.array(
+            [aggregate.combine(a, b) for a, b in self.SPECIALS]
+        )
+        assert np.array_equal(vector, scalar, equal_nan=True)
+        assert np.array_equal(np.signbit(vector), np.signbit(scalar))
+
+    def test_random_values_match_scalar_path(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0.0, 10.0, 200)
+        y = rng.normal(0.0, 10.0, 200)
+        for aggregate in (MeanAggregate(), MaxAggregate(), MinAggregate()):
+            vector = aggregate.combine_array(x, y)
+            scalar = np.array(
+                [aggregate.combine(a, b) for a, b in zip(x, y)]
+            )
+            assert np.array_equal(vector, scalar)

@@ -1,0 +1,124 @@
+"""Bridges between the kernel and the surrounding layers:
+MultiAggregateSpec (core.multi), the scenario-native analysis runners,
+and AggregationService backend parity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import replicate_scenario, sweep_scenario
+from repro.core import (
+    AggregationService,
+    MaxAggregate,
+    MeanAggregate,
+    MultiAggregateSpec,
+    moment_values,
+)
+from repro.errors import ConfigurationError
+from repro.kernel import GossipEngine, Scenario
+from repro.topology import CompleteTopology
+
+
+@pytest.fixture
+def topo():
+    return CompleteTopology(300)
+
+
+@pytest.fixture
+def values(topo):
+    return np.random.default_rng(11).lognormal(2.0, 0.5, topo.n)
+
+
+class TestMultiAggregateSpec:
+    def test_build_preserves_order(self, values):
+        spec = MultiAggregateSpec.build(
+            {"mean": MeanAggregate(), "max": MaxAggregate()},
+            initial={},
+        )
+        assert spec.names == ("mean", "max")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiAggregateSpec(
+                names=("a", "a"),
+                functions=(MeanAggregate(), MeanAggregate()),
+                initial={},
+            )
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiAggregateSpec.build(
+                {"mean": MeanAggregate()}, initial={"other": [1.0]}
+            )
+
+    def test_scenario_round_trip(self, topo, values):
+        spec = MultiAggregateSpec.build(
+            {"mean": MeanAggregate(), "m2": MeanAggregate()},
+            initial={"m2": moment_values(values, 2)},
+        )
+        scenario = spec.scenario(topo, values, seed=1, cycles=10)
+        assert isinstance(scenario, Scenario)
+        engine = GossipEngine(scenario)
+        engine.run()
+        assert engine.mean("mean") == pytest.approx(values.mean(), rel=1e-9)
+        assert engine.mean("m2") == pytest.approx((values ** 2).mean(),
+                                                  rel=1e-9)
+
+    def test_node_state_bridge(self, topo, values):
+        spec = MultiAggregateSpec.build(
+            {"mean": MeanAggregate(), "max": MaxAggregate()}
+        )
+        engine = GossipEngine(spec.scenario(topo, values, seed=2, cycles=25))
+        engine.run()
+        state = spec.node_state(engine.matrix, 7)
+        assert state.get("mean") == pytest.approx(values.mean(), rel=1e-6)
+        assert state.get("max") == values.max()
+        assert len(spec.node_states(engine.matrix)) == topo.n
+
+
+class TestScenarioRunners:
+    def test_replicate_scenario_independent_runs(self, topo, values):
+        scenario = Scenario(topo, values, cycles=6, seed=3)
+        result = replicate_scenario(scenario, runs=3)
+        finals = [out.variance_array()[-1] for out in result.outputs]
+        assert len(set(finals)) == 3  # independent streams differ
+        again = replicate_scenario(scenario, runs=3)
+        assert finals == [out.variance_array()[-1] for out in again.outputs]
+
+    def test_replicate_scenario_validates_runs(self, topo, values):
+        with pytest.raises(ConfigurationError):
+            replicate_scenario(Scenario(topo, values), runs=0)
+
+    def test_sweep_scenario_over_sizes(self, values):
+        def factory(n):
+            return Scenario(
+                CompleteTopology(n),
+                np.random.default_rng(n).normal(0.0, 1.0, n),
+                cycles=8,
+            )
+
+        outcomes = sweep_scenario(factory, [100, 200], runs=2, seed=4)
+        assert set(outcomes) == {100, 200}
+        for point in outcomes.values():
+            assert len(point.outputs) == 2
+            for run in point.outputs:
+                assert run.variance_array()[-1] < run.variance_array()[0]
+
+
+class TestServiceBackendParity:
+    def test_backends_agree_bitwise(self, topo, values):
+        reports = [
+            AggregationService(
+                topo, values, seed=5, backend=backend
+            ).run(cycles=25)
+            for backend in ("reference", "vectorized")
+        ]
+        assert reports[0].as_dict() == reports[1].as_dict()
+
+    def test_service_estimates_with_vectorized_backend(self, topo, values):
+        report = AggregationService(
+            topo, values, seed=6, backend="vectorized"
+        ).run(cycles=30)
+        assert report.mean == pytest.approx(values.mean(), rel=1e-6)
+        assert report.maximum == values.max()
+        assert report.minimum == values.min()
+        assert report.network_size == pytest.approx(topo.n, rel=1e-3)

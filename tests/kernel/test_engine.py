@@ -1,0 +1,140 @@
+"""Tests for kernel.engine — the unified gossip engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    moment_values,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.failures import CrashPlan
+from repro.failures.message_loss import burst_loss
+from repro.kernel import GossipEngine, Scenario, run_scenario
+from repro.simulator.trace import ExchangeTrace
+from repro.topology import CompleteTopology
+
+
+@pytest.fixture
+def topo():
+    return CompleteTopology(200)
+
+
+@pytest.fixture
+def values(topo):
+    return np.random.default_rng(3).normal(5.0, 2.0, topo.n)
+
+
+def multi_scenario(topo, values, **kwargs):
+    return Scenario(
+        topo,
+        values,
+        aggregates={
+            "mean": MeanAggregate(),
+            "m2": MeanAggregate(),
+            "max": MaxAggregate(),
+            "min": MinAggregate(),
+        },
+        initial={"m2": moment_values(values, 2)},
+        **kwargs,
+    )
+
+
+class TestSinglePassMultiAggregate:
+    def test_all_instances_converge_in_one_run(self, topo, values):
+        engine = GossipEngine(multi_scenario(topo, values, seed=1))
+        engine.run(20)
+        assert engine.mean("mean") == pytest.approx(values.mean(), abs=1e-12)
+        assert np.all(engine.column("max") == values.max())
+        assert np.all(engine.column("min") == values.min())
+        assert engine.mean("m2") == pytest.approx((values ** 2).mean(),
+                                                  abs=1e-9)
+        assert engine.variance("mean") < 1e-10
+
+    def test_result_carries_every_instance(self, topo, values):
+        result = run_scenario(multi_scenario(topo, values, seed=2, cycles=5))
+        assert result.instance_names == ("mean", "m2", "max", "min")
+        for name in result.instance_names:
+            assert len(result.variances[name]) == 6
+            assert len(result.means[name]) == 6
+        assert len(result.exchange_counts) == 5
+
+    def test_unknown_instance_rejected(self, topo, values):
+        engine = GossipEngine(multi_scenario(topo, values, seed=3))
+        with pytest.raises(ConfigurationError):
+            engine.column("nope")
+
+    def test_exchanges_shared_across_instances(self, topo, values):
+        """One pass means one exchange stream: the same count regardless
+        of how many instances ride on it."""
+        single = GossipEngine(Scenario(topo, values, seed=4))
+        multi = GossipEngine(multi_scenario(topo, values, seed=4))
+        assert single.run_cycle() == multi.run_cycle()
+
+
+class TestFailureMachinery:
+    def test_crash_plan_applied_at_cycle(self, topo, values):
+        plan = CrashPlan()
+        plan.add(2, [0, 1, 2, 3])
+        scenario = Scenario(topo, values, crash_plan=plan, seed=5)
+        result = GossipEngine(scenario).run(4)
+        assert result.alive_counts[:3] == [topo.n, topo.n, topo.n]
+        assert result.alive_counts[3:] == [topo.n - 4, topo.n - 4]
+
+    def test_manual_crash_between_runs(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=6))
+        engine.run(1)
+        engine.crash(range(50))
+        assert engine.alive_count == topo.n - 50
+        engine.run(20)
+        assert engine.variance() < 1e-8
+
+    def test_crash_out_of_range_rejected(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=7))
+        with pytest.raises(ConfigurationError):
+            engine.crash([topo.n])
+
+    def test_loss_schedule_gates_exchanges(self, topo, values):
+        scenario = Scenario(
+            topo, values, loss_schedule=burst_loss(0.0, 1.0, 1, 2), seed=8
+        )
+        result = GossipEngine(scenario).run(3)
+        assert result.exchange_counts[0] == topo.n
+        assert result.exchange_counts[1] == 0  # the burst cycle
+        assert result.exchange_counts[2] == topo.n
+
+
+class TestRecordingModes:
+    def test_record_end_keeps_endpoints_only(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=9))
+        result = engine.run(10, record="end")
+        assert len(result.variances["mean"]) == 2
+        assert len(result.exchange_counts) == 10
+        full = GossipEngine(Scenario(topo, values, seed=9)).run(10)
+        assert result.variances["mean"][-1] == full.variances["mean"][-1]
+
+    def test_bad_record_mode_rejected(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=10))
+        with pytest.raises(ConfigurationError):
+            engine.run(1, record="sometimes")
+
+    def test_negative_cycles_rejected(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=11))
+        with pytest.raises(ConfigurationError):
+            engine.run(-1)
+
+
+class TestTraceRouting:
+    def test_trace_forces_reference_backend(self, topo, values):
+        scenario = Scenario(topo, values, backend="vectorized", seed=12)
+        engine = GossipEngine(scenario, trace=ExchangeTrace())
+        assert engine.backend_name == "reference"
+        engine.run(2)
+
+    def test_trace_rejected_for_multi_instance(self, topo, values):
+        with pytest.raises(SimulationError):
+            GossipEngine(
+                multi_scenario(topo, values, seed=13), trace=ExchangeTrace()
+            )
