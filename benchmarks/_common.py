@@ -95,10 +95,20 @@ def emit(name: str, text: str, capsys) -> None:
         print(text)
 
 
-def emit_json(name: str, payload: dict) -> Path:
-    """Archive a machine-readable benchmark result as
-    ``BENCH_<name>.json`` at the repository root (the artifact CI
-    uploads and trend tooling diffs). Returns the path written."""
-    path = REPO_ROOT / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+def emit_json(name: str, payload: dict, *, archive: bool = True) -> Path:
+    """Write a machine-readable benchmark result as ``BENCH_<name>.json``.
+
+    The file always lands under ``benchmarks/out/`` (what CI uploads
+    and ``diff_bench.py`` compares). With ``archive=True`` it is *also*
+    written to the repository root — the git-tracked copy documenting
+    the acceptance-scale numbers. Callers pass ``archive=False`` for
+    smoke/reduced workloads so a quick local run never clobbers the
+    committed paper-scale archive. Returns the ``benchmarks/out/``
+    path."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(text)
+    if archive:
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
     return path

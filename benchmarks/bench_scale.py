@@ -12,8 +12,9 @@ wall-clock comparison.
 Acceptance target: the vectorized (structure-of-arrays) backend is
 ≥ 5× faster than the reference (sequential list loop) backend at
 N = 100 000. A smoke configuration (``--n 10000``) runs in seconds for
-CI; results land in ``BENCH_scale.json`` at the repo root via
-:func:`_common.emit_json`.
+CI; results land in ``benchmarks/out/BENCH_scale.json`` via
+:func:`_common.emit_json` (paper-scale runs also refresh the
+git-tracked ``BENCH_scale.json`` at the repo root).
 
 Run directly (``python benchmarks/bench_scale.py [--n N]``) or through
 pytest (``pytest benchmarks/bench_scale.py``).
@@ -142,7 +143,7 @@ def check(series):
 def test_scale(benchmark, capsys):
     series = benchmark.pedantic(compute_scale, rounds=1, iterations=1)
     emit("scale", render(series), capsys)
-    emit_json("scale", series)
+    emit_json("scale", series, archive=series["n"] >= N)
     check(series)
 
 
@@ -153,7 +154,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     series = compute_scale(args.n, args.cycles)
     emit("scale", render(series), None)
-    emit_json("scale", series)
+    # only acceptance-scale runs refresh the git-tracked archive;
+    # smoke sizes stay in benchmarks/out/
+    emit_json("scale", series, archive=args.n >= N)
     check(series)
     return 0
 

@@ -1,0 +1,133 @@
+"""Diff two benchmark JSON archives and fail on timing regressions.
+
+The CI workflow archives each run's ``BENCH_*.json`` (the
+machine-readable outputs of :mod:`bench_scale`, :mod:`bench_churn`, …)
+and restores the previous run's copy from the actions cache. This
+script compares the two:
+
+* every key ending in ``_seconds`` (plus a bare ``seconds`` key) is a
+  wall-clock measurement; the run regresses if
+  ``current > baseline * (1 + tolerance)`` (default tolerance 25 %);
+* measurements whose baseline is below ``--min-seconds`` are reported
+  but never gated — sub-100 ms smoke timings vary far more than any
+  honest tolerance between CI runners;
+* non-timing scalar keys (``n``, ``cycles``, ``speedup`` …) are
+  reported informationally;
+* runs are only comparable when their workload parameters match —
+  mismatched ``n``/``cycles`` (e.g. a smoke run against a paper-scale
+  archive) skip the diff with exit code 0, as does a missing baseline
+  (the first run ever, or an expired cache).
+
+Exit codes: 0 = ok/skip, 1 = regression beyond tolerance, 2 = bad
+invocation.
+
+Usage::
+
+    python benchmarks/diff_bench.py --baseline prev/BENCH_scale.json \
+        --current BENCH_scale.json [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: keys that must match for two runs to be comparable
+PARAM_KEYS = ("n", "cycles", "aggregates", "cycles_per_epoch", "backend")
+
+
+def is_timing_key(key: str) -> bool:
+    """Whether a JSON key holds a wall-clock measurement."""
+    return key == "seconds" or key.endswith("_seconds")
+
+
+def load(path: Path):
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def diff(baseline: dict, current: dict, tolerance: float,
+         min_seconds: float = 0.0):
+    """Compare two benchmark payloads.
+
+    Returns ``(comparable, regressions, lines)``: whether the workloads
+    matched, the list of regressed keys, and human-readable report
+    lines. Timing keys with a baseline under ``min_seconds`` are
+    reported but never counted as regressions (too noisy to gate on).
+    """
+    lines = []
+    for key in PARAM_KEYS:
+        if key in baseline or key in current:
+            if baseline.get(key) != current.get(key):
+                lines.append(
+                    f"workload parameter {key!r} differs "
+                    f"(baseline {baseline.get(key)!r}, "
+                    f"current {current.get(key)!r}); runs not comparable"
+                )
+                return False, [], lines
+    regressions = []
+    for key in sorted(current):
+        if not is_timing_key(key):
+            continue
+        if key not in baseline:
+            lines.append(f"{key}: {current[key]:.4f}s (no baseline)")
+            continue
+        base, cur = float(baseline[key]), float(current[key])
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        verdict = "ok"
+        if base < min_seconds:
+            verdict = f"ignored (baseline < {min_seconds}s, too noisy)"
+        elif ratio > 1.0 + tolerance:
+            verdict = f"REGRESSION (> {tolerance:.0%} slower)"
+            regressions.append(key)
+        elif ratio < 1.0 - tolerance:
+            verdict = "improved"
+        lines.append(
+            f"{key}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x) {verdict}"
+        )
+    return True, regressions, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="previous run's BENCH_*.json")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="this run's BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown fraction (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.0,
+                        help="ignore timings whose baseline is below "
+                             "this (noise floor for smoke runs)")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        print("tolerance must be positive", file=sys.stderr)
+        return 2
+    if not args.current.exists():
+        print(f"current archive {args.current} missing", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; first run, nothing to diff")
+        return 0
+    comparable, regressions, lines = diff(
+        load(args.baseline), load(args.current), args.tolerance,
+        args.min_seconds,
+    )
+    for line in lines:
+        print(line)
+    if not comparable:
+        return 0
+    if regressions:
+        print(f"{len(regressions)} timing regression(s): "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        return 1
+    print("no timing regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

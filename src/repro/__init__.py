@@ -77,6 +77,8 @@ from .core import (
 )
 from .kernel import (
     Scenario,
+    ChurnSpec,
+    EpochSpec,
     GossipEngine,
     KernelRunResult,
     run_scenario,
@@ -151,6 +153,8 @@ __all__ = [
     "AggregationReport",
     "RobustAverager",
     "Scenario",
+    "ChurnSpec",
+    "EpochSpec",
     "GossipEngine",
     "KernelRunResult",
     "run_scenario",

@@ -4,7 +4,9 @@ Usage::
 
     python -m repro rates                 # T1: the §3.3 rate table
     python -m repro figure3a              # Figure 3(a) series
-    python -m repro figure4 --cycles 300  # Figure 4, scaled
+    python -m repro figure4 --cycles 300  # Figure 4, scaled down
+    python -m repro figure4 --n 100000 --backend vectorized
+                                          # Figure 4 at paper scale
     python -m repro monitor --n 2000      # AggregationService demo
     python -m repro scale --n 100000      # kernel backend comparison
 
@@ -91,7 +93,7 @@ def _cmd_figure3a(args: argparse.Namespace) -> int:
 def _cmd_figure4(args: argparse.Namespace) -> int:
     config = SizeEstimationConfig(
         cycles=args.cycles,
-        cycles_per_epoch=30,
+        cycles_per_epoch=args.epoch,
         initial_size=args.n,
         seed=args.seed,
     )
@@ -99,11 +101,18 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         args.n, args.n // 10, period=max(args.cycles // 2, 2),
         fluctuation=max(args.n // 1000, 1),
     )
-    experiment = SizeEstimationExperiment(config, churn=churn)
+    experiment = SizeEstimationExperiment(
+        config, churn=churn, backend=args.backend
+    )
+    start = time.perf_counter()
     experiment.run()
+    elapsed = time.perf_counter() - start
     table = Table(
         headers=["end cycle", "actual@start", "estimate", "rel. error"],
-        title="Figure 4: size estimation under churn",
+        title=(
+            f"Figure 4: size estimation under churn, N={args.n} "
+            f"({experiment.backend_name} backend, {elapsed:.1f}s)"
+        ),
     )
     for report in experiment.reports:
         table.add_row(
@@ -189,10 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     f3a.add_argument("--runs", type=int, default=8)
     f3a.set_defaults(func=_cmd_figure3a)
 
-    f4 = sub.add_parser("figure4", help="Figure 4, scaled")
+    f4 = sub.add_parser("figure4", help="Figure 4, any scale")
     f4.add_argument("--n", type=int, default=2000)
     f4.add_argument("--cycles", type=int, default=300)
+    f4.add_argument("--epoch", type=int, default=30,
+                    help="cycles per epoch")
     f4.add_argument("--seed", type=int, default=4)
+    f4.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="auto",
+        help="kernel execution backend",
+    )
     f4.set_defaults(func=_cmd_figure4)
 
     monitor = sub.add_parser("monitor", help="AggregationService demo")

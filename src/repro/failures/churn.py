@@ -1,5 +1,16 @@
 """Churn models — who joins and who leaves at each cycle.
 
+A :class:`ChurnModel` is purely declarative: it emits per-cycle
+join/leave *counts* and nothing else. Execution belongs to the gossip
+kernel — :class:`~repro.kernel.GossipEngine` queries the model once per
+cycle and applies the step as alive-mask growth/shrink with
+value-matrix row recycling (departed slots are handed to joiners), so
+no node objects are ever created or destroyed at runtime. Wrap a model
+in a :class:`~repro.kernel.ChurnSpec` to pick the rejoin policy and
+joiner values, or pass it to ``Scenario(churn=...)`` directly for the
+defaults. Keeping the failure model declarative means future execution
+backends (async, sharded) inherit it unchanged.
+
 Figure 4's scenario: the network size oscillates between 90 000 and
 110 000 "for example on a day/night alternation basis", and *in
 addition* 100 nodes are removed and 100 added every cycle to simulate

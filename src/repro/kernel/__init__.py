@@ -20,6 +20,12 @@ from .scenario import (
     BACKEND_NAMES,
     Scenario,
 )
+from .lifecycle import (
+    ChurnSpec,
+    EpochRestart,
+    EpochSpec,
+    EpochView,
+)
 from .backends import (
     ExecutionBackend,
     ReferenceBackend,
@@ -32,6 +38,10 @@ __all__ = [
     "AUTO_VECTORIZE_THRESHOLD",
     "BACKEND_NAMES",
     "Scenario",
+    "ChurnSpec",
+    "EpochRestart",
+    "EpochSpec",
+    "EpochView",
     "ExecutionBackend",
     "ReferenceBackend",
     "VectorizedBackend",

@@ -1,48 +1,70 @@
 """The unified gossip engine.
 
 :class:`GossipEngine` executes a :class:`~repro.kernel.scenario.Scenario`
-under the synchronous cycle model of §3: every alive node, in index
-order, contacts a random neighbor and both endpoints adopt
+under the synchronous cycle model of §3: every participating node, in
+slot order, contacts a random partner and both endpoints adopt
 ``AGGREGATE(x_i, x_j)`` for *every* aggregation instance at once
 (GETPAIR_SEQ with §4 piggybacking). The engine owns everything
 stochastic and everything stateful:
 
-* node state as an ``(n, k)`` structure-of-arrays value matrix plus an
-  alive mask — one column per aggregation instance,
-* the cycle's randomness as two batched draws (one
-  ``random_neighbor_array`` call for partners, one ``Generator.random``
-  call for loss coins), identical no matter which backend executes, and
-* the failure machinery (crash plan, loss schedule, partition).
+* node state as a ``(capacity, k)`` structure-of-arrays value matrix
+  plus boolean *alive* and *participant* masks — one column per
+  aggregation instance, one row per node slot,
+* node lifecycle: a declarative
+  :class:`~repro.kernel.lifecycle.ChurnSpec` is applied as alive-mask
+  growth/shrink with value-matrix row recycling (departed slots are
+  reused by joiners; the matrix grows geometrically when the network
+  outgrows its capacity — no node objects are ever rebuilt),
+* the §4 epoch/restart machinery: an
+  :class:`~repro.kernel.lifecycle.EpochSpec` restarts the protocol at
+  every epoch boundary by re-seeding the participants' rows in place
+  (mid-epoch joiners stay alive but wait for the next restart before
+  they participate),
+* the cycle's randomness as batched draws (partner picks, loss coins,
+  churn departures, restart re-seeding), identical no matter which
+  backend executes, and
+* the remaining failure machinery (crash plan, loss schedule,
+  partition).
 
 What remains — applying the cycle's successful exchanges to the matrix
 — is delegated to a pluggable
 :class:`~repro.kernel.backends.ExecutionBackend`. Because backends see
 identical inputs and the vectorized backend preserves per-node exchange
-order, a scenario produces the same trajectory on every backend.
+order, a scenario produces the same trajectory on every backend, churn
+and epoch restarts included.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..rng import make_rng
 from .backends import ExecutionBackend, make_backend
+from .lifecycle import EpochRestart, EpochView
 from .scenario import Scenario
 
 
 @dataclass
 class KernelRunResult:
-    """Per-cycle trajectories of one engine run, per instance."""
+    """Per-cycle trajectories of one engine run, per instance.
+
+    Epoch-restarted runs whose instance count varies between epochs
+    (Figure 4's per-epoch leader election) do not record per-instance
+    variance/mean trajectories — their observable outputs are
+    ``epoch_results`` (one finalize value per completed epoch) and
+    ``alive_counts`` (the network-size trace).
+    """
 
     instance_names: Tuple[Hashable, ...]
     variances: Dict[Hashable, List[float]] = field(default_factory=dict)
     means: Dict[Hashable, List[float]] = field(default_factory=dict)
     exchange_counts: List[int] = field(default_factory=list)
     alive_counts: List[int] = field(default_factory=list)
+    epoch_results: List[Any] = field(default_factory=list)
 
     @property
     def primary(self) -> Hashable:
@@ -68,17 +90,48 @@ class GossipEngine:
 
     def __init__(self, scenario: Scenario, *, trace=None):
         self.scenario = scenario
-        self._names = scenario.instance_names
-        self._functions = scenario.functions
+        self._names: Tuple[Hashable, ...] = scenario.instance_names
+        self._functions: Tuple = scenario.functions
         self._matrix = scenario.initial_matrix()
         self._alive = np.ones(scenario.n, dtype=bool)
         self._rng = make_rng(scenario.seed)
         self._trace = trace
+        # -- lifecycle state --------------------------------------------
+        self._churn = scenario.churn
+        self._epochs = scenario.epochs
+        self._dynamic = scenario.is_dynamic
+        # participants: the nodes gossiping in the current epoch. Only
+        # diverges from the alive mask under epochs, where mid-epoch
+        # joiners wait for the next restart (§4).
+        self._participant = self._alive.copy()
+        # slots of departed nodes, recycled LIFO for joiners
+        self._free_slots: List[int] = []
+        # next never-used slot (== capacity until the matrix grows)
+        self._top = scenario.n
+        # per-slot base attribute values, the reseed source for the
+        # default "restart from current local values" epoch protocol
+        # (a custom reseed may change the instance count, so attributes
+        # are only maintained when the default restart needs them)
+        self._attributes = (
+            self._matrix.copy()
+            if self._epochs is not None and self._epochs.reseed is None
+            else None
+        )
+        self.epoch = -1
+        self._epoch_start_cycle = 0
+        self._size_at_epoch_start = 0
+        self._last_finalized_epoch = -1
+        self._epoch_results: List[Any] = []
+
         backend_name = scenario.resolve_backend()
         if trace is not None:
             if len(self._names) > 1:
                 raise SimulationError(
                     "exchange tracing supports single-instance scenarios only"
+                )
+            if self._dynamic:
+                raise SimulationError(
+                    "exchange tracing is not supported under churn/epochs"
                 )
             # telemetry needs the sequential per-exchange path
             backend_name = "reference"
@@ -94,23 +147,36 @@ class GossipEngine:
 
     @property
     def instance_names(self) -> Tuple[Hashable, ...]:
-        """Instance ids in column order."""
+        """Instance ids in column order (positional ids after an epoch
+        restart changed the instance count)."""
         return self._names
 
     @property
     def matrix(self) -> np.ndarray:
-        """The ``(n, k)`` value matrix (copy; includes crashed nodes)."""
+        """The ``(capacity, k)`` value matrix (copy; includes dead and
+        not-yet-participating slots)."""
         return self._matrix.copy()
 
     @property
     def alive_mask(self) -> np.ndarray:
-        """Boolean alive mask (copy)."""
+        """Boolean alive mask over all slots (copy)."""
         return self._alive.copy()
 
     @property
     def alive_count(self) -> int:
-        """Number of alive nodes."""
+        """Number of alive nodes (the current network size)."""
         return int(self._alive.sum())
+
+    @property
+    def participant_count(self) -> int:
+        """Number of nodes gossiping in the current epoch (equals
+        :attr:`alive_count` except for joiners awaiting a restart)."""
+        return int(self._participant.sum())
+
+    @property
+    def capacity(self) -> int:
+        """Number of allocated node slots (≥ alive count)."""
+        return len(self._alive)
 
     def _column_index(self, name: Optional[Hashable]) -> int:
         if name is None:
@@ -123,54 +189,251 @@ class GossipEngine:
             ) from None
 
     def column(self, name: Optional[Hashable] = None) -> np.ndarray:
-        """One instance's approximations over *all* nodes (copy)."""
+        """One instance's approximations over *all* slots (copy)."""
         return self._matrix[:, self._column_index(name)].copy()
 
     def alive_column(self, name: Optional[Hashable] = None) -> np.ndarray:
-        """One instance's approximations over alive nodes."""
-        return self._matrix[self._alive, self._column_index(name)]
+        """One instance's approximations over participating nodes."""
+        return self._matrix[self._participant, self._column_index(name)]
 
     def variance(self, name: Optional[Hashable] = None) -> float:
-        """Unbiased variance of alive approximations (eq. 3)."""
+        """Unbiased variance of participants' approximations (eq. 3)."""
         alive = self.alive_column(name)
         if len(alive) < 2:
             return 0.0
         return float(alive.var(ddof=1))
 
     def mean(self, name: Optional[Hashable] = None) -> float:
-        """Mean of alive approximations."""
+        """Mean of participants' approximations."""
         return float(self.alive_column(name).mean())
 
     # -- failure injection -----------------------------------------------
 
     def crash(self, node_ids: Sequence[int]) -> None:
-        """Crash-stop nodes; their approximations leave the system."""
+        """Crash-stop nodes; their approximations leave the system and
+        (under churn) their slots become recyclable."""
         for node_id in node_ids:
-            if not 0 <= node_id < self.scenario.n:
+            if not 0 <= node_id < self.capacity:
                 raise ConfigurationError(f"node id {node_id} out of range")
-            self._alive[node_id] = False
+            if self._alive[node_id]:
+                self._alive[node_id] = False
+                self._participant[node_id] = False
+                if self._dynamic:
+                    self._free_slots.append(int(node_id))
+
+    # -- churn -----------------------------------------------------------
+
+    def _apply_churn(self) -> None:
+        """One cycle's declarative churn: departures leave (taking their
+        approximation mass), joiners are admitted into recycled or
+        fresh slots."""
+        spec = self._churn
+        alive_count = self.alive_count
+        step = spec.model.step(self.cycle, alive_count)
+        leaves = min(int(step.leaves), max(alive_count - 1, 0))
+        if leaves > 0:
+            alive_ids = np.nonzero(self._alive)[0]
+            picks = self._rng.choice(len(alive_ids), size=leaves, replace=False)
+            leavers = alive_ids[picks]
+            self._alive[leavers] = False
+            self._participant[leavers] = False
+            self._free_slots.extend(int(s) for s in leavers)
+        if step.joins > 0:
+            self._admit(int(step.joins))
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = self.capacity
+        if needed <= capacity:
+            return
+        # geometric growth amortizes repeated joins to O(1) per node
+        new_capacity = max(needed, capacity + (capacity >> 1))
+        grow = new_capacity - capacity
+        self._matrix = np.vstack(
+            [self._matrix, np.zeros((grow, self._matrix.shape[1]))]
+        )
+        self._alive = np.concatenate(
+            [self._alive, np.zeros(grow, dtype=bool)]
+        )
+        self._participant = np.concatenate(
+            [self._participant, np.zeros(grow, dtype=bool)]
+        )
+        if self._attributes is not None:
+            self._attributes = np.vstack(
+                [self._attributes, np.zeros((grow, self._attributes.shape[1]))]
+            )
+
+    def _admit(self, count: int) -> np.ndarray:
+        """Admit ``count`` joiners: recycle departed slots (LIFO), then
+        extend the matrix. Returns the assigned slot ids."""
+        recycled = [
+            self._free_slots.pop()
+            for _ in range(min(count, len(self._free_slots)))
+        ]
+        fresh = count - len(recycled)
+        if fresh > 0:
+            self._ensure_capacity(self._top + fresh)
+            fresh_slots = np.arange(self._top, self._top + fresh, dtype=np.int64)
+            self._top += fresh
+        else:
+            fresh_slots = np.empty(0, dtype=np.int64)
+        slots = np.concatenate(
+            [np.asarray(recycled, dtype=np.int64), fresh_slots]
+        )
+        self._alive[slots] = True
+        # under epochs a joiner waits for the next restart (§4); under
+        # plain churn it participates immediately
+        self._participant[slots] = self._epochs is None
+
+        spec = self._churn
+        k = self._matrix.shape[1]
+        if spec.join_values is not None:
+            drawn = np.asarray(
+                spec.join_values(count, self._rng), dtype=np.float64
+            )
+            if drawn.ndim == 1:
+                if drawn.shape != (count,):
+                    raise SimulationError(
+                        f"join_values returned shape {drawn.shape}, "
+                        f"expected ({count},) or ({count}, {k})"
+                    )
+                rows = np.repeat(drawn[:, None], k, axis=1)
+            elif drawn.shape == (count, k):
+                rows = drawn
+            else:
+                raise SimulationError(
+                    f"join_values returned shape {drawn.shape}, "
+                    f"expected ({count},) or ({count}, {k})"
+                )
+        else:
+            rows = np.zeros((count, k))
+        if spec.rejoin == "keep":
+            # recycled slots keep the departed node's state; only
+            # fresh slots are seeded
+            seed_slots, seed_rows = fresh_slots, rows[len(recycled):]
+        else:
+            seed_slots, seed_rows = slots, rows
+        self._matrix[seed_slots] = seed_rows
+        if self._attributes is not None:
+            self._attributes[seed_slots] = seed_rows
+        return slots
+
+    # -- epochs ----------------------------------------------------------
+
+    def _start_epoch(self, cycle: int) -> None:
+        """Restart the protocol (§4): every alive node becomes a
+        participant and its row is re-seeded in place."""
+        self.epoch += 1
+        np.copyto(self._participant, self._alive)
+        participants = np.nonzero(self._participant)[0]
+        self._epoch_start_cycle = cycle
+        self._size_at_epoch_start = len(participants)
+        spec = self._epochs
+        if spec.reseed is None:
+            self._matrix[participants] = self._attributes[participants]
+            return
+        context = EpochRestart(
+            epoch=self.epoch,
+            cycle=cycle,
+            participants=participants.copy(),
+            rng=self._rng,
+            previous=tuple(self._epoch_results),
+        )
+        rows = np.asarray(spec.reseed(context), dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[:, np.newaxis]
+        if rows.ndim != 2 or rows.shape[0] != len(participants):
+            raise SimulationError(
+                f"reseed returned shape {rows.shape} for "
+                f"{len(participants)} participants"
+            )
+        k_new = rows.shape[1]
+        if k_new != self._matrix.shape[1]:
+            if k_new < 1:
+                raise SimulationError("reseed must return at least one column")
+            # the instance count changed (e.g. a fresh leader set):
+            # rebuild the matrix with positional instance ids, every
+            # column running the epoch spec's AGGREGATE
+            self._functions = (spec.function,) * k_new
+            self._names = tuple(range(k_new))
+            self._matrix = np.zeros((self.capacity, k_new))
+        self._matrix[participants] = rows
+
+    def _finalize_epoch(self, end_cycle: int) -> None:
+        if self.epoch < 0 or self.epoch <= self._last_finalized_epoch:
+            return
+        self._last_finalized_epoch = self.epoch
+        spec = self._epochs
+        if spec.finalize is None:
+            return
+        participants = np.nonzero(self._participant)[0]
+        view = EpochView(
+            epoch=self.epoch,
+            start_cycle=self._epoch_start_cycle,
+            end_cycle=end_cycle,
+            size_at_start=self._size_at_epoch_start,
+            size_at_end=self.alive_count,
+            participants=participants,
+            matrix=self._matrix[participants].copy(),
+        )
+        output = spec.finalize(view)
+        if output is not None:
+            self._epoch_results.append(output)
+
+    @property
+    def epoch_results(self) -> List[Any]:
+        """Finalize outputs of every completed epoch so far (copy)."""
+        return list(self._epoch_results)
 
     # -- execution -------------------------------------------------------
 
     def run_cycle(self) -> int:
-        """One synchronous cycle (every alive node initiates once, in
-        index order). Returns the number of successful exchanges."""
+        """One synchronous cycle (every participant initiates once, in
+        slot order). Returns the number of successful exchanges."""
         scenario = self.scenario
+        if (
+            self._epochs is not None
+            and self.cycle % self._epochs.cycles_per_epoch == 0
+        ):
+            if self.cycle > 0:
+                self._finalize_epoch(self.cycle - 1)
+            self._start_epoch(self.cycle)
         if scenario.crash_plan is not None:
             victims = scenario.crash_plan.crashing_at(self.cycle)
             if victims:
                 self.crash(victims)
+        if self._churn is not None:
+            self._apply_churn()
         rng = self._rng
-        initiators = np.nonzero(self._alive)[0]
-        partners = scenario.topology.random_neighbor_array(initiators, rng)
-        loss = scenario.loss_at(self.cycle)
-        # contacting a crashed neighbor fails the exchange
-        ok = self._alive[partners]
-        if loss > 0.0:
-            ok &= rng.random(len(initiators)) >= loss
-        partition = scenario.partition
-        if partition is not None and partition.active_at(self.cycle):
-            ok &= ~partition.blocks_array(self.cycle, initiators, partners)
+        if self._dynamic:
+            # the paper's uniform overlay over current participants:
+            # each initiator draws a uniformly random *other*
+            # participant (self-picks shift to the next position)
+            initiators = np.nonzero(self._participant)[0]
+            count = len(initiators)
+            if count < 2:
+                self.cycle += 1
+                return 0
+            positions = rng.integers(0, count, size=count)
+            clash = positions == np.arange(count)
+            if clash.any():
+                positions[clash] = (positions[clash] + 1) % count
+            partners = initiators[positions]
+            loss = scenario.loss_at(self.cycle)
+            if loss > 0.0:
+                ok = rng.random(count) >= loss
+            else:
+                ok = np.ones(count, dtype=bool)
+        else:
+            initiators = np.nonzero(self._alive)[0]
+            partners = scenario.topology.random_neighbor_array(initiators, rng)
+            loss = scenario.loss_at(self.cycle)
+            # contacting a crashed neighbor fails the exchange
+            ok = self._alive[partners]
+            if loss > 0.0:
+                ok &= rng.random(len(initiators)) >= loss
+            partition = scenario.partition
+            if partition is not None and partition.active_at(self.cycle):
+                ok &= ~partition.blocks_array(self.cycle, initiators, partners)
         self._backend.apply_exchanges(
             self._matrix,
             self._functions,
@@ -190,7 +453,11 @@ class GossipEngine:
         ``record="cycle"`` captures per-instance variance and mean after
         every cycle (the figures' trajectories); ``record="end"``
         captures only the initial and final snapshot, keeping scale runs
-        free of per-cycle reduction passes.
+        free of per-cycle reduction passes. Epoch-restarted runs skip
+        the per-instance records (the instance count may change every
+        epoch) but always record the per-cycle ``alive_counts`` size
+        trace and collect ``epoch_results``; an epoch that ends exactly
+        at the cycle budget is finalized before returning.
         """
         if cycles is None:
             cycles = self.scenario.cycles
@@ -202,25 +469,42 @@ class GossipEngine:
             raise ConfigurationError(
                 f"record must be 'cycle' or 'end', got {record!r}"
             )
+        epoch_mode = self._epochs is not None
+        # like exchange_counts/alive_counts, epoch_results are per-run:
+        # only epochs completed during *this* call are reported (the
+        # engine-level epoch_results property stays cumulative)
+        epochs_already_reported = len(self._epoch_results)
         result = KernelRunResult(instance_names=self._names)
-        for name in self._names:
-            result.variances[name] = [self.variance(name)]
-            result.means[name] = [self.mean(name)]
+        if not epoch_mode:
+            for name in self._names:
+                result.variances[name] = [self.variance(name)]
+                result.means[name] = [self.mean(name)]
         result.alive_counts.append(self.alive_count)
         per_cycle = record == "cycle"
         for _ in range(cycles):
             exchanges = self.run_cycle()
             if per_cycle:
-                for name in self._names:
-                    result.variances[name].append(self.variance(name))
-                    result.means[name].append(self.mean(name))
+                if not epoch_mode:
+                    for name in self._names:
+                        result.variances[name].append(self.variance(name))
+                        result.means[name].append(self.mean(name))
                 result.alive_counts.append(self.alive_count)
             result.exchange_counts.append(exchanges)
         if not per_cycle and cycles > 0:
-            for name in self._names:
-                result.variances[name].append(self.variance(name))
-                result.means[name].append(self.mean(name))
+            if not epoch_mode:
+                for name in self._names:
+                    result.variances[name].append(self.variance(name))
+                    result.means[name].append(self.mean(name))
             result.alive_counts.append(self.alive_count)
+        if (
+            epoch_mode
+            and self.cycle > 0
+            and self.cycle % self._epochs.cycles_per_epoch == 0
+        ):
+            # a run ending exactly on an epoch boundary publishes that
+            # epoch's converged estimates
+            self._finalize_epoch(self.cycle - 1)
+        result.epoch_results = self._epoch_results[epochs_already_reported:]
         return result
 
 

@@ -4,7 +4,8 @@ A :class:`Scenario` is the single configuration object every execution
 layer understands: it names the overlay, the initial per-node values,
 the set of concurrent aggregation instances piggybacked on each
 exchange (§4's multi-instance rule), the failure model (message loss,
-crash-stop plan, partition schedule), the cycle budget, the seed, and
+crash-stop plan, partition schedule, declarative churn), the §4
+epoch/restart machinery, the cycle budget, the seed, and
 which execution backend should run it. `CycleSimulator`,
 `AggregationService`, the CLI and the benchmark drivers all build a
 ``Scenario`` and hand it to :class:`~repro.kernel.engine.GossipEngine`.
@@ -20,9 +21,12 @@ import numpy as np
 
 from ..core.aggregates import AggregateFunction, MeanAggregate
 from ..errors import ConfigurationError
+from ..failures.churn import ChurnModel
 from ..failures.crash import CrashPlan
 from ..rng import SeedLike
 from ..topology.base import Topology
+from ..topology.complete import CompleteTopology
+from .lifecycle import ChurnSpec, EpochSpec
 
 #: backend names accepted by :attr:`Scenario.backend`
 BACKEND_NAMES = ("auto", "reference", "vectorized")
@@ -64,6 +68,20 @@ class Scenario:
         before their scheduled cycle executes.
     partition:
         Optional :class:`~repro.failures.partition.PartitionSchedule`.
+    churn:
+        Optional :class:`~repro.kernel.lifecycle.ChurnSpec` (a bare
+        :class:`~repro.failures.churn.ChurnModel` is wrapped in a
+        default spec). The engine applies it as alive-mask
+        growth/shrink plus value-matrix row recycling. Churn scenarios
+        model the paper's uniform overlay: partners are drawn uniformly
+        among current participants, so the topology must be
+        :class:`~repro.topology.complete.CompleteTopology` (it sets the
+        initial size).
+    epochs:
+        Optional :class:`~repro.kernel.lifecycle.EpochSpec` — the §4
+        epoch/restart machinery. Implies the same uniform-overlay rule
+        as ``churn``; joiners wait for the next epoch start before they
+        participate.
     cycles:
         Default cycle budget for :func:`run_scenario`-style drivers.
     seed:
@@ -84,6 +102,8 @@ class Scenario:
     loss_schedule: Optional[Callable[[int], float]] = None
     crash_plan: Optional[CrashPlan] = None
     partition: Optional[object] = None
+    churn: Optional[ChurnSpec] = None
+    epochs: Optional[EpochSpec] = None
     cycles: int = 30
     seed: SeedLike = None
     backend: str = "auto"
@@ -127,13 +147,51 @@ class Scenario:
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{BACKEND_NAMES}"
             )
+        if self.churn is not None:
+            if isinstance(self.churn, ChurnModel):
+                object.__setattr__(self, "churn", ChurnSpec(model=self.churn))
+            elif not isinstance(self.churn, ChurnSpec):
+                raise ConfigurationError(
+                    f"churn must be a ChurnSpec or ChurnModel, got "
+                    f"{type(self.churn).__name__}"
+                )
+        if self.epochs is not None and not isinstance(self.epochs, EpochSpec):
+            raise ConfigurationError(
+                f"epochs must be an EpochSpec, got "
+                f"{type(self.epochs).__name__}"
+            )
+        if self.is_dynamic:
+            if self.partition is not None:
+                raise ConfigurationError(
+                    "partition schedules are not supported together with "
+                    "churn/epochs (slot recycling makes static node-id "
+                    "groups meaningless)"
+                )
+            if self.churn is not None and self.crash_plan is not None:
+                raise ConfigurationError(
+                    "crash plans are not supported together with churn "
+                    "(slot recycling re-targets the plan's static node "
+                    "ids); model crashes as the churn model's leaves "
+                    "instead — crash plans remain valid with epochs alone"
+                )
+            if not isinstance(self.topology, CompleteTopology):
+                raise ConfigurationError(
+                    "churn/epoch scenarios model the paper's uniform "
+                    "overlay and require CompleteTopology (it fixes the "
+                    f"initial size); got {type(self.topology).__name__}"
+                )
 
     # -- derived views ---------------------------------------------------
 
     @property
     def n(self) -> int:
-        """Network size."""
+        """Network size (initial size under churn)."""
         return self.topology.n
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether membership changes over the run (churn or epochs)."""
+        return self.churn is not None or self.epochs is not None
 
     @property
     def instance_names(self) -> Tuple[Hashable, ...]:

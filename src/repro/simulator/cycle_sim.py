@@ -14,6 +14,12 @@ execution, which is how it gains the ``backend`` parameter — pass
 ``backend="vectorized"`` (or leave the default ``"auto"`` at scale) to
 run the structure-of-arrays batched path that reproduces the
 sequential semantics bitwise.
+
+Node churn and §4 epoch restarts are kernel-hosted too: pass a
+``churn`` model (applied as alive-mask mutation with value-matrix row
+recycling — node objects are never rebuilt) and/or an ``epochs`` spec,
+and the simulator keeps delegating; both backends stay bitwise-equal
+under every failure model.
 """
 
 from __future__ import annotations
@@ -60,6 +66,15 @@ class CycleSimulator:
         Probability that a given exchange fails entirely (both sides
         keep their values). Models symmetric message loss; asymmetric
         loss is only observable in the event-driven simulator.
+    churn:
+        Optional :class:`~repro.failures.churn.ChurnModel` (or a full
+        :class:`~repro.kernel.ChurnSpec`): per-cycle joins/leaves
+        applied by the kernel as alive-mask growth/shrink with row
+        recycling. Requires a complete topology (the paper's uniform
+        overlay).
+    epochs:
+        Optional :class:`~repro.kernel.EpochSpec` enabling §4 epoch
+        restarts.
     seed:
         RNG seed or generator.
     backend:
@@ -77,6 +92,8 @@ class CycleSimulator:
         loss_probability: float = 0.0,
         trace=None,
         partition=None,
+        churn=None,
+        epochs=None,
         seed: SeedLike = None,
         backend: str = "auto",
     ):
@@ -88,6 +105,8 @@ class CycleSimulator:
             aggregates={self.aggregate.name: self.aggregate},
             loss_probability=loss_probability,
             partition=partition,
+            churn=churn,
+            epochs=epochs,
             seed=seed,
             backend=backend,
         )
@@ -147,8 +166,10 @@ class CycleSimulator:
             raise ConfigurationError(f"cycles must be non-negative, got {cycles}")
         kernel_result = self._engine.run(cycles)
         name = kernel_result.primary
+        # epoch-restarted runs skip per-instance trajectories (the
+        # instance count may change per epoch); see KernelRunResult
         return CycleRunResult(
-            variances=kernel_result.variances[name],
-            means=kernel_result.means[name],
+            variances=kernel_result.variances.get(name, []),
+            means=kernel_result.means.get(name, []),
             exchange_counts=kernel_result.exchange_counts,
         )

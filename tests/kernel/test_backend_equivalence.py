@@ -19,11 +19,17 @@ from repro.core import (
     MaxAggregate,
     MeanAggregate,
     MinAggregate,
+    SizeEstimationConfig,
+    SizeEstimationExperiment,
     moment_values,
 )
-from repro.failures import CrashPlan
+from repro.failures import (
+    ConstantRateChurn,
+    CrashPlan,
+    OscillatingChurn,
+)
 from repro.failures.partition import PartitionSchedule
-from repro.kernel import GossipEngine, Scenario
+from repro.kernel import ChurnSpec, EpochSpec, GossipEngine, Scenario
 from repro.topology import CompleteTopology, RandomRegularTopology, RingTopology
 
 
@@ -158,6 +164,125 @@ class TestBitwiseEquivalence:
             cycles=8,
         )
         assert_identical(ref, vec)
+
+
+class TestChurnEquivalence:
+    """The bitwise contract extends to dynamic membership: churn and
+    epoch restarts are engine-level (alive-mask mutation plus row
+    recycling), so backends still see identical inputs every cycle."""
+
+    def assert_identical_dynamic(self, ref_engine, ref_result,
+                                 vec_engine, vec_result):
+        assert np.array_equal(ref_engine.matrix, vec_engine.matrix)
+        assert np.array_equal(ref_engine.alive_mask, vec_engine.alive_mask)
+        assert ref_engine.capacity == vec_engine.capacity
+        assert ref_result.exchange_counts == vec_result.exchange_counts
+        assert ref_result.alive_counts == vec_result.alive_counts
+
+    def run_both(self, scenario_kwargs, cycles):
+        outputs = []
+        for backend in ("reference", "vectorized"):
+            engine = GossipEngine(Scenario(backend=backend, **scenario_kwargs))
+            outputs.append((engine, engine.run(cycles)))
+        return outputs
+
+    def test_joins_and_leaves(self):
+        n = 300
+        values = np.random.default_rng(8).normal(5.0, 2.0, n)
+        (ref_e, ref_r), (vec_e, vec_r) = self.run_both(
+            dict(
+                topology=CompleteTopology(n),
+                values=values,
+                churn=ConstantRateChurn(joins_per_cycle=7, leaves_per_cycle=4),
+                seed=41,
+            ),
+            cycles=15,
+        )
+        self.assert_identical_dynamic(ref_e, ref_r, vec_e, vec_r)
+        assert ref_e.alive_count == n + 15 * (7 - 4)
+
+    def test_oscillating_churn_with_loss(self):
+        n = 400
+        values = np.random.default_rng(9).normal(5.0, 2.0, n)
+        (ref_e, ref_r), (vec_e, vec_r) = self.run_both(
+            dict(
+                topology=CompleteTopology(n),
+                values=values,
+                churn=OscillatingChurn(n, 40, 20, fluctuation=3),
+                loss_probability=0.2,
+                seed=42,
+            ),
+            cycles=30,
+        )
+        self.assert_identical_dynamic(ref_e, ref_r, vec_e, vec_r)
+
+    def test_crash_plan_with_epoch_restarts(self):
+        """Crash plans stay valid with epochs alone (no recycling ever
+        re-targets their node ids) and the trajectories stay bitwise."""
+        n = 300
+        values = np.random.default_rng(10).normal(5.0, 2.0, n)
+        plan = CrashPlan()
+        plan.add(4, list(range(50)))
+        (ref_e, ref_r), (vec_e, vec_r) = self.run_both(
+            dict(
+                topology=CompleteTopology(n),
+                values=values,
+                epochs=EpochSpec(cycles_per_epoch=6),
+                crash_plan=plan,
+                seed=43,
+            ),
+            cycles=12,
+        )
+        self.assert_identical_dynamic(ref_e, ref_r, vec_e, vec_r)
+        assert ref_e.alive_count == n - 50
+
+    def test_epoch_restarts_from_attributes(self):
+        """Default restart (reseed=None) with churn: joiners wait for
+        the next epoch and every restart re-seeds from attributes."""
+        n = 256
+        values = np.random.default_rng(11).normal(5.0, 2.0, n)
+        (ref_e, ref_r), (vec_e, vec_r) = self.run_both(
+            dict(
+                topology=CompleteTopology(n),
+                values=values,
+                churn=ChurnSpec(
+                    model=ConstantRateChurn(
+                        joins_per_cycle=3, leaves_per_cycle=3
+                    ),
+                    join_values=lambda m, rng: rng.normal(5.0, 2.0, m),
+                ),
+                epochs=EpochSpec(cycles_per_epoch=10),
+                seed=44,
+            ),
+            cycles=30,
+        )
+        self.assert_identical_dynamic(ref_e, ref_r, vec_e, vec_r)
+        assert ref_e.epoch == 2
+
+    def test_size_estimation_trajectories(self):
+        """The full Figure 4 pipeline — per-epoch leader election,
+        variable instance counts, churn — is bitwise-reproducible
+        across backends."""
+        config = SizeEstimationConfig(
+            cycles=90, cycles_per_epoch=30, initial_size=500, seed=45
+        )
+        churn = OscillatingChurn(500, 50, 60, fluctuation=2)
+        runs = {}
+        for backend in ("reference", "vectorized"):
+            experiment = SizeEstimationExperiment(
+                config, churn=churn, backend=backend
+            )
+            experiment.run()
+            runs[backend] = experiment
+        ref, vec = runs["reference"], runs["vectorized"]
+        assert ref.size_trace == vec.size_trace
+        assert len(ref.reports) == len(vec.reports) == 3
+        for ref_report, vec_report in zip(ref.reports, vec.reports):
+            assert ref_report.estimate_mean == vec_report.estimate_mean
+            assert ref_report.estimate_min == vec_report.estimate_min
+            assert ref_report.estimate_max == vec_report.estimate_max
+            assert ref_report.size_at_start == vec_report.size_at_start
+            assert ref_report.reporting_nodes == vec_report.reporting_nodes
 
 
 class TestStatisticalEquivalence:

@@ -1,0 +1,71 @@
+"""Check that relative links in the repo's markdown docs resolve.
+
+Scans every ``*.md`` at the repository root and under ``docs/`` for
+inline markdown links/images ``[text](target)`` and verifies that each
+relative target exists on disk (anchors are stripped; external
+``http(s)``/``mailto`` targets and bare in-page anchors are ignored).
+CI runs this as the docs link-check step; run it locally with::
+
+    python tools/check_links.py
+
+Exit code 0 when every link resolves, 1 otherwise (broken links are
+listed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown link or image: [text](target) / ![alt](target)
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md"))
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_file(path: Path):
+    """Yield (link, reason) for every broken relative link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            try:
+                shown = resolved.relative_to(REPO_ROOT)
+            except ValueError:  # link escapes the repository root
+                shown = resolved
+            yield target, f"missing file {shown}"
+
+
+def main() -> int:
+    broken = []
+    files = markdown_files()
+    for path in files:
+        for target, reason in check_file(path):
+            broken.append((path.relative_to(REPO_ROOT), target, reason))
+    if broken:
+        for origin, target, reason in broken:
+            print(f"{origin}: broken link '{target}' ({reason})",
+                  file=sys.stderr)
+        print(f"{len(broken)} broken link(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {len(files)} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
