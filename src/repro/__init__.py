@@ -39,21 +39,6 @@ from .topology import (
     BarabasiAlbertTopology,
     StarTopology,
 )
-from .avg import (
-    ValueVector,
-    PairSelector,
-    GetPairPerfectMatching,
-    GetPairRand,
-    GetPairSeq,
-    GetPairPMRand,
-    AvgAlgorithm,
-    RunResult,
-    run_avg,
-    RATE_PM,
-    RATE_RAND,
-    RATE_SEQ,
-    convergence_rate,
-)
 from .core import (
     AggregateFunction,
     MeanAggregate,
@@ -75,10 +60,26 @@ from .core import (
     AggregationReport,
     RobustAverager,
 )
+from .avg import (
+    ValueVector,
+    PairSelector,
+    GetPairPerfectMatching,
+    GetPairRand,
+    GetPairSeq,
+    GetPairPMRand,
+    AvgAlgorithm,
+    RunResult,
+    run_avg,
+    RATE_PM,
+    RATE_RAND,
+    RATE_SEQ,
+    convergence_rate,
+)
 from .kernel import (
     Scenario,
     ChurnSpec,
     EpochSpec,
+    PairProtocolSpec,
     GossipEngine,
     KernelRunResult,
     run_scenario,
@@ -155,6 +156,7 @@ __all__ = [
     "Scenario",
     "ChurnSpec",
     "EpochSpec",
+    "PairProtocolSpec",
     "GossipEngine",
     "KernelRunResult",
     "run_scenario",

@@ -11,10 +11,18 @@ cycles and records exactly the quantities the paper's figures plot:
   (``s_i = s_j = (s_i + s_j)/4``), which lets tests verify
   ``E(s_{i+1}) = E(2^{-φ}) · E(s_i)`` directly.
 
-The elementary-step loop is intentionally a tight pure-Python loop over
-lists: the steps are sequentially dependent (a node's value changes
-between steps), so vectorization cannot be applied across steps, and
-list indexing beats numpy scalar indexing by ~5×.
+Since the pair-mode kernel refactor :class:`AvgAlgorithm` is a thin
+shell over :class:`~repro.kernel.engine.GossipEngine`: it declares a
+:class:`~repro.kernel.pairs.PairProtocolSpec` on a
+:class:`~repro.kernel.scenario.Scenario` and reads the trajectory back
+out of the kernel result. That is what gives every GETPAIR selector —
+not just SEQ — the vectorized backend's conflict-free batched
+execution at paper scale (``backend="vectorized"`` or the default
+``"auto"``), with reference/vectorized trajectories bitwise-equal.
+Per-cycle variance is measured once per boundary (cycle *i*'s
+``variance_after`` IS cycle *i+1*'s ``variance_before``), which both
+halves the O(N) reduction passes and removes a float-drift source
+between the two measurements.
 """
 
 from __future__ import annotations
@@ -25,9 +33,12 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..rng import SeedLike, make_rng
+from ..kernel.engine import GossipEngine
+from ..kernel.pairs import PairProtocolSpec
+from ..kernel.scenario import Scenario
+from ..rng import SeedLike
 from .pair_selectors import PairSelector
-from .vector import ValueVector, empirical_variance
+from .vector import ValueVector
 
 
 @dataclass(frozen=True)
@@ -84,10 +95,17 @@ class RunResult:
         return float(self.variances[-1] / self.initial_variance)
 
     def geometric_mean_reduction(self) -> float:
-        """Geometric mean of the per-cycle ratios (the empirical rate)."""
+        """Geometric mean of the per-cycle ratios (the empirical rate).
+
+        Cycles at or past exact convergence contribute nothing to the
+        empirical rate: a ``0.0`` ratio (the converging cycle) or a
+        ``nan`` ratio (every cycle after it) is dropped, so a run that
+        converges exactly mid-way still reports its pre-convergence
+        rate instead of ``nan``.
+        """
         ratios = self.reductions
-        ratios = ratios[~np.isnan(ratios)]
-        if len(ratios) == 0 or np.any(ratios <= 0):
+        ratios = ratios[np.isfinite(ratios) & (ratios > 0)]
+        if len(ratios) == 0:
             return float("nan")
         return float(np.exp(np.log(ratios).mean()))
 
@@ -102,16 +120,45 @@ class AvgAlgorithm:
     track_s:
         When true, co-evolve the ``s`` vector of Theorem 1 starting from
         ``s_0 = a_0²`` and record its mean each cycle.
+    backend:
+        Kernel execution backend: ``"reference"`` (sequential elementary
+        steps, the semantic oracle), ``"vectorized"`` (conflict-free
+        batched scatter updates) or ``"auto"`` (default; picks by
+        network size). The backends are bitwise-equal, so this is
+        purely a speed choice.
     """
 
-    def __init__(self, selector: PairSelector, *, track_s: bool = False):
+    def __init__(
+        self,
+        selector: PairSelector,
+        *,
+        track_s: bool = False,
+        backend: str = "auto",
+    ):
         self._selector = selector
         self._track_s = track_s
+        self._backend = backend
 
     @property
     def selector(self) -> PairSelector:
         """The pair selector in use."""
         return self._selector
+
+    def _protocol_spec(self) -> PairProtocolSpec:
+        """The kernel declaration for this selector: built-in selectors
+        go by name (and get conflict-free segmentation plans);
+        user-defined subclasses ride a custom generator wrapping their
+        ``cycle_pairs`` override."""
+        selector = self._selector
+        if type(selector).cycle_pairs is PairSelector.cycle_pairs:
+            return PairProtocolSpec(
+                selector=selector.name, track_s=self._track_s
+            )
+        return PairProtocolSpec(
+            selector=selector.name,
+            track_s=self._track_s,
+            generator=lambda topology, rng: selector.cycle_pairs(rng),
+        )
 
     def run(
         self,
@@ -128,57 +175,38 @@ class AvgAlgorithm:
                 f"vector length {vector.n} does not match selector size "
                 f"{self._selector.n}"
             )
-        rng = make_rng(seed)
-        result = RunResult(
-            initial_variance=vector.variance, initial_mean=vector.mean
+        scenario = Scenario(
+            topology=self._selector.topology,
+            values=vector.values,
+            pair_protocol=self._protocol_spec(),
+            cycles=cycles,
+            seed=seed,
+            backend=self._backend,
         )
-        values = vector.values.tolist()
-        s_values = (
-            [v * v for v in values] if self._track_s else None
+        engine = GossipEngine(scenario)
+        kernel_result = engine.run(cycles)
+        variances = kernel_result.variance_array("avg")
+        result = RunResult(
+            initial_variance=float(variances[0]),
+            initial_mean=float(kernel_result.mean_array("avg")[0]),
+        )
+        s_means = (
+            kernel_result.mean_array("s") if self._track_s else None
         )
         for cycle in range(1, cycles + 1):
-            variance_before = empirical_variance(np.asarray(values))
-            pairs = self._selector.cycle_pairs(rng)
-            phi = self._selector.phi_counts(pairs)
-            self._run_cycle(values, s_values, pairs)
-            variance_after = empirical_variance(np.asarray(values))
-            s_mean = (
-                float(np.mean(s_values)) if s_values is not None else None
-            )
             result.cycles.append(
                 CycleStats(
                     cycle=cycle,
-                    variance_before=variance_before,
-                    variance_after=variance_after,
-                    phi=phi,
-                    s_mean=s_mean,
+                    variance_before=float(variances[cycle - 1]),
+                    variance_after=float(variances[cycle]),
+                    phi=kernel_result.phi_counts[cycle - 1],
+                    s_mean=(
+                        float(s_means[cycle]) if s_means is not None else None
+                    ),
                 )
             )
-        vector.values[:] = values
+        vector.values[:] = engine.alive_column("avg")
         return result
-
-    @staticmethod
-    def _run_cycle(values: list, s_values: Optional[list], pairs: np.ndarray) -> None:
-        """Apply one cycle's elementary steps in place.
-
-        Hot loop: sequential dependence between steps forbids
-        vectorization, so this is a plain-Python loop over a
-        pre-materialized pair list.
-        """
-        pair_list = pairs.tolist()
-        if s_values is None:
-            for i, j in pair_list:
-                midpoint = (values[i] + values[j]) * 0.5
-                values[i] = midpoint
-                values[j] = midpoint
-        else:
-            for i, j in pair_list:
-                midpoint = (values[i] + values[j]) * 0.5
-                values[i] = midpoint
-                values[j] = midpoint
-                s_quarter = (s_values[i] + s_values[j]) * 0.25
-                s_values[i] = s_quarter
-                s_values[j] = s_quarter
 
 
 def run_avg(
@@ -188,9 +216,13 @@ def run_avg(
     *,
     seed: SeedLike = None,
     track_s: bool = False,
+    backend: str = "auto",
 ) -> RunResult:
     """Convenience wrapper: run AVG for ``cycles`` cycles.
 
-    Equivalent to ``AvgAlgorithm(selector, track_s=track_s).run(...)``.
+    Equivalent to
+    ``AvgAlgorithm(selector, track_s=track_s, backend=backend).run(...)``.
     """
-    return AvgAlgorithm(selector, track_s=track_s).run(vector, cycles, seed=seed)
+    return AvgAlgorithm(selector, track_s=track_s, backend=backend).run(
+        vector, cycles, seed=seed
+    )

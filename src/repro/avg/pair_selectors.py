@@ -19,26 +19,56 @@ All selectors are *value-blind*: the pair sequence of a whole cycle can
 be (and is) generated up front, which enables the vectorized draws used
 at paper scale. Each selector exposes :meth:`cycle_pairs` returning an
 ``(N, 2)`` array of index pairs — one cycle's worth of GETPAIR calls.
+
+Since the pair-mode kernel refactor the sequence generation itself is
+hosted in :mod:`repro.kernel.pairs` — the same draws the
+:class:`~repro.kernel.engine.GossipEngine` makes when a scenario
+declares a :class:`~repro.kernel.pairs.PairProtocolSpec` — and these
+classes are thin, API-stable shells binding a selector name to a
+topology.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 
 import numpy as np
 
-from ..errors import PairSelectionError
-from ..topology.base import AdjacencyTopology, Topology
-from ..topology.complete import CompleteTopology
+from ..kernel.pairs import (
+    pairs_pm,
+    pairs_pmrand,
+    pairs_rand,
+    pairs_seq,
+    validate_pair_topology,
+)
+from ..topology.base import Topology
 
 
 class PairSelector(ABC):
-    """Produces the per-cycle pair sequence consumed by algorithm AVG."""
+    """Produces the per-cycle pair sequence consumed by algorithm AVG.
 
-    #: short identifier used in experiment reports
+    The built-in subclasses set :attr:`name` (the kernel's selector id)
+    and :attr:`_generator` and inherit everything else: construction
+    validates the topology preconditions and :meth:`cycle_pairs`
+    delegates to the kernel generator. User-defined strategies remain
+    supported the pre-kernel way — subclass, pick a distinct ``name``,
+    and override :meth:`cycle_pairs`; :class:`AvgAlgorithm` runs such
+    selectors on the kernel through a custom
+    :attr:`~repro.kernel.pairs.PairProtocolSpec.generator`.
+    """
+
+    #: short identifier used in experiment reports; for the built-in
+    #: strategies it doubles as the kernel's
+    #: :attr:`~repro.kernel.pairs.PairProtocolSpec.selector`
     name: str = "abstract"
 
+    #: the kernel pair generator backing this selector (None for
+    #: user-defined subclasses, which override :meth:`cycle_pairs`)
+    _generator = None
+
     def __init__(self, topology: Topology):
+        if type(self)._generator is not None:
+            validate_pair_topology(self.name, topology)
         self._topology = topology
 
     @property
@@ -51,7 +81,6 @@ class PairSelector(ABC):
         """Network size."""
         return self._topology.n
 
-    @abstractmethod
     def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
         """The ``(calls, 2)`` pair sequence for one cycle of AVG.
 
@@ -59,6 +88,13 @@ class PairSelector(ABC):
         topologies, ``(i, j)`` an edge of the overlay. The number of
         calls per cycle is ``N`` for every selector in the paper.
         """
+        generator = type(self)._generator
+        if generator is None:
+            raise NotImplementedError(
+                "user-defined PairSelector subclasses must override "
+                "cycle_pairs"
+            )
+        return generator(self._topology, rng)
 
     def phi_counts(self, pairs: np.ndarray) -> np.ndarray:
         """Per-node selection counts φ_k for a cycle's pair sequence."""
@@ -67,20 +103,6 @@ class PairSelector(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n={self.n})"
-
-
-def _two_disjoint_matchings(n: int, rng: np.random.Generator) -> np.ndarray:
-    """Two edge-disjoint perfect matchings over ``n`` (even) labels.
-
-    A random permutation ``p`` yields matching 1 as consecutive pairs
-    ``(p[0],p[1]), (p[2],p[3]) …`` and matching 2 as the shifted pairs
-    ``(p[1],p[2]), …, (p[n-1],p[0])`` — the two alternating edge classes
-    of a Hamiltonian cycle, hence disjoint by construction.
-    """
-    p = rng.permutation(n)
-    first = p.reshape(-1, 2)
-    second = np.column_stack((p[1::2], np.concatenate((p[2::2], p[:1]))))
-    return np.vstack((first, second))
 
 
 class GetPairPerfectMatching(PairSelector):
@@ -92,20 +114,7 @@ class GetPairPerfectMatching(PairSelector):
     """
 
     name = "pm"
-
-    def __init__(self, topology: Topology):
-        super().__init__(topology)
-        if not isinstance(topology, CompleteTopology):
-            raise PairSelectionError(
-                "GETPAIR_PM requires the complete topology (global knowledge)"
-            )
-        if topology.n % 2 != 0:
-            raise PairSelectionError(
-                f"perfect matching needs an even node count, got {topology.n}"
-            )
-
-    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
-        return _two_disjoint_matchings(self.n, rng)
+    _generator = staticmethod(pairs_pm)
 
 
 class GetPairRand(PairSelector):
@@ -117,24 +126,7 @@ class GetPairRand(PairSelector):
     """
 
     name = "rand"
-
-    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
-        n = self.n
-        if isinstance(self._topology, CompleteTopology):
-            first = rng.integers(0, n, size=n)
-            offset = rng.integers(0, n - 1, size=n)
-            second = offset + (offset >= first)
-            return np.column_stack((first, second))
-        if isinstance(self._topology, AdjacencyTopology):
-            edge_array = self._topology.edge_array()
-            if len(edge_array) == 0:
-                raise PairSelectionError("topology has no edges to sample")
-            picks = rng.integers(0, len(edge_array), size=n)
-            return edge_array[picks].copy()
-        pairs = np.empty((n, 2), dtype=np.int64)
-        for call in range(n):
-            pairs[call] = self._topology.random_edge(rng)
-        return pairs
+    _generator = staticmethod(pairs_rand)
 
 
 class GetPairSeq(PairSelector):
@@ -147,11 +139,7 @@ class GetPairSeq(PairSelector):
     """
 
     name = "seq"
-
-    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
-        initiators = np.arange(self.n, dtype=np.int64)
-        partners = self._topology.random_neighbor_array(initiators, rng)
-        return np.column_stack((initiators, partners))
+    _generator = staticmethod(pairs_seq)
 
 
 class GetPairPMRand(PairSelector):
@@ -165,24 +153,4 @@ class GetPairPMRand(PairSelector):
     """
 
     name = "pmrand"
-
-    def __init__(self, topology: Topology):
-        super().__init__(topology)
-        if not isinstance(topology, CompleteTopology):
-            raise PairSelectionError(
-                "GETPAIR_PMRAND requires the complete topology"
-            )
-        if topology.n % 2 != 0:
-            raise PairSelectionError(
-                f"perfect matching needs an even node count, got {topology.n}"
-            )
-
-    def cycle_pairs(self, rng: np.random.Generator) -> np.ndarray:
-        n = self.n
-        p = rng.permutation(n)
-        matching = p.reshape(-1, 2)  # N/2 PM calls
-        first = rng.integers(0, n, size=n - n // 2)
-        offset = rng.integers(0, n - 1, size=n - n // 2)
-        second = offset + (offset >= first)
-        random_half = np.column_stack((first, second))
-        return np.vstack((matching, random_half))
+    _generator = staticmethod(pairs_pmrand)

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro rates                 # T1: the §3.3 rate table
     python -m repro figure3a              # Figure 3(a) series
+    python -m repro figure3a --n 100000 --backend vectorized
+                                          # Figure 3 point at paper scale
     python -m repro figure4 --cycles 300  # Figure 4, scaled down
     python -m repro figure4 --n 100000 --backend vectorized
                                           # Figure 4 at paper scale
@@ -58,7 +60,8 @@ def _cmd_rates(args: argparse.Namespace) -> int:
         def one_run(rng, factory=factory):
             vector = ValueVector.gaussian(args.n, seed=rng)
             return run_avg(
-                vector, factory(topology), args.cycles, seed=rng
+                vector, factory(topology), args.cycles, seed=rng,
+                backend=args.backend,
             ).geometric_mean_reduction()
 
         rates = replicate(one_run, runs=args.runs, seed=1).outputs
@@ -72,14 +75,16 @@ def _cmd_figure3a(args: argparse.Namespace) -> int:
         headers=["N", "rand/complete", "seq/complete"],
         title="Figure 3(a): variance reduction after one AVG execution",
     )
-    for n in (100, 316, 1000, 3162):
+    sizes = (100, 316, 1000, 3162) if args.n is None else (args.n,)
+    for n in sizes:
         topology = CompleteTopology(n)
         row = [n]
         for factory in (GetPairRand, GetPairSeq):
             def one_run(rng, factory=factory):
                 vector = ValueVector.gaussian(n, seed=rng)
                 return run_avg(
-                    vector, factory(topology), 1, seed=rng
+                    vector, factory(topology), 1, seed=rng,
+                    backend=args.backend,
                 ).cycles[0].reduction
 
             row.append(
@@ -192,10 +197,22 @@ def build_parser() -> argparse.ArgumentParser:
     rates.add_argument("--n", type=int, default=1000)
     rates.add_argument("--runs", type=int, default=5)
     rates.add_argument("--cycles", type=int, default=12)
+    rates.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="auto",
+        help="kernel execution backend",
+    )
     rates.set_defaults(func=_cmd_rates)
 
     f3a = sub.add_parser("figure3a", help="Figure 3(a) series")
     f3a.add_argument("--runs", type=int, default=8)
+    f3a.add_argument(
+        "--n", type=int, default=None,
+        help="single network size (default: the 100..3162 series)",
+    )
+    f3a.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="auto",
+        help="kernel execution backend",
+    )
     f3a.set_defaults(func=_cmd_figure3a)
 
     f4 = sub.add_parser("figure4", help="Figure 4, any scale")

@@ -26,6 +26,11 @@ from .lifecycle import (
     EpochSpec,
     EpochView,
 )
+from .pairs import (
+    PAIR_SELECTOR_NAMES,
+    PairProtocolSpec,
+    TheoremSAggregate,
+)
 from .backends import (
     ExecutionBackend,
     ReferenceBackend,
@@ -42,6 +47,9 @@ __all__ = [
     "EpochRestart",
     "EpochSpec",
     "EpochView",
+    "PAIR_SELECTOR_NAMES",
+    "PairProtocolSpec",
+    "TheoremSAggregate",
     "ExecutionBackend",
     "ReferenceBackend",
     "VectorizedBackend",

@@ -3,10 +3,16 @@
 A backend's job is small and precisely bounded: given the kernel's
 ``(n, k)`` value matrix (one column per aggregation instance) and one
 cycle's worth of *successful* exchanges — endpoint index arrays, in
-GETPAIR_SEQ initiation order — apply every exchange's AGGREGATE to both
-endpoints. Everything stochastic (neighbor draws, loss coins, crash
-schedules) already happened in the engine, so backends are
-deterministic functions of their inputs and can be swapped freely.
+step order — apply every exchange's AGGREGATE to both endpoints.
+Everything stochastic (neighbor draws, loss coins, crash schedules,
+pair-mode GETPAIR sequences) already happened in the engine, so
+backends are deterministic functions of their inputs and can be
+swapped freely. The same contract serves both execution modes: in
+exchange mode the arrays are GETPAIR_SEQ initiations, in pair mode
+(:class:`~repro.kernel.pairs.PairProtocolSpec`) they are the ``N``
+elementary midpoint steps of one AVG cycle — PM's two matching halves
+resolve into exactly two conflict-free batches, while RAND/SEQ/PMRAND
+sequences are greedily segmented by the same first-occurrence rule.
 
 Two implementations:
 
@@ -38,6 +44,15 @@ from ..core.aggregates import AggregateFunction, MeanAggregate
 from ..errors import ConfigurationError, SimulationError
 
 
+#: contiguous steps per greedy-segmentation window in the vectorized
+#: pair path. Executing each window to completion before the next
+#: trivially preserves global step order, and within a few thousand
+#: steps node collisions are rare (1–3 batches instead of ~max φ), so
+#: the first-occurrence scans touch far fewer elements and stay
+#: cache-resident.
+PAIR_CHUNK = 4096
+
+
 class ExecutionBackend(ABC):
     """Applies one cycle's successful exchanges to the value matrix."""
 
@@ -63,6 +78,30 @@ class ExecutionBackend(ABC):
         optional :class:`~repro.simulator.trace.ExchangeTrace` (only the
         reference backend supports it, and only for k = 1).
         """
+
+    def apply_pairs(
+        self,
+        matrix: np.ndarray,
+        functions: Sequence[AggregateFunction],
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+        *,
+        plan: Optional[Tuple[Tuple[int, int, bool], ...]] = None,
+        cycle: int = 0,
+        trace=None,
+    ) -> None:
+        """Apply one pair-mode cycle's elementary steps, in step order.
+
+        Semantically identical to :meth:`apply_exchanges`; ``plan`` is
+        an optional tuple of ``(start, end, conflict_free)`` segments
+        covering the sequence, marking stretches that are node-disjoint
+        *by construction* (PM's matching halves). Sequential backends
+        may ignore it; the vectorized backend applies a conflict-free
+        segment as a single batch with no segmentation scan.
+        """
+        self.apply_exchanges(
+            matrix, functions, pairs_i, pairs_j, cycle=cycle, trace=trace
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -132,11 +171,20 @@ class VectorizedBackend(ExecutionBackend):
 
     def __init__(self):
         self._scratch: Optional[np.ndarray] = None
+        self._flat: Optional[np.ndarray] = None
+        self._slots: Optional[np.ndarray] = None
 
     def _position_scratch(self, n: int) -> np.ndarray:
         if self._scratch is None or len(self._scratch) < n:
             self._scratch = np.empty(n, dtype=np.int32)
         return self._scratch
+
+    def _chunk_buffers(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Reused interleave/slot-number buffers for one greedy window."""
+        if self._flat is None or len(self._flat) < size:
+            self._flat = np.empty(size, dtype=np.int32)
+            self._slots = np.arange(size, dtype=np.int32)
+        return self._flat, self._slots
 
     def apply_exchanges(
         self,
@@ -194,6 +242,100 @@ class VectorizedBackend(ExecutionBackend):
             keep = ~ready
             pending_i = pending_i[keep]
             pending_j = pending_j[keep]
+
+    # -- pair mode --------------------------------------------------------
+
+    def apply_pairs(
+        self,
+        matrix: np.ndarray,
+        functions: Sequence[AggregateFunction],
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+        *,
+        plan: Optional[Tuple[Tuple[int, int, bool], ...]] = None,
+        cycle: int = 0,
+        trace=None,
+    ) -> None:
+        """Pair-mode fast path.
+
+        Conflict-free segments of the plan (PM's matching halves) are
+        applied as single scatter batches with no segmentation scan;
+        everything else goes through :meth:`_apply_greedy`, the chunked
+        order-preserving greedy segmentation. Bitwise-identical to the
+        sequential reference execution either way.
+        """
+        if trace is not None:
+            raise SimulationError(
+                "the vectorized backend does not support exchange tracing; "
+                "use backend='reference'"
+            )
+        pi = np.ascontiguousarray(pairs_i, dtype=np.int32)
+        pj = np.ascontiguousarray(pairs_j, dtype=np.int32)
+        k = matrix.shape[1]
+        if plan is None:
+            plan = ((0, len(pi), False),)
+        for start, end, conflict_free in plan:
+            if conflict_free:
+                self._apply_batch(
+                    matrix, functions, pi[start:end], pj[start:end], k
+                )
+            else:
+                self._apply_greedy(
+                    matrix, functions, pi[start:end], pj[start:end], k
+                )
+
+    def _apply_batch(self, matrix, functions, batch_i, batch_j, k) -> None:
+        """Apply one node-disjoint batch of exchanges."""
+        if k == 1:
+            column = matrix[:, 0]
+            combined = functions[0].combine_array(
+                column[batch_i], column[batch_j]
+            )
+            column[batch_i] = combined
+            column[batch_j] = combined
+            return
+        rows_i = matrix[batch_i]
+        rows_j = matrix[batch_j]
+        combined_rows = np.empty_like(rows_i)
+        for c, function in enumerate(functions):
+            combined_rows[:, c] = function.combine_array(
+                rows_i[:, c], rows_j[:, c]
+            )
+        matrix[batch_i] = combined_rows
+        matrix[batch_j] = combined_rows
+
+    def _apply_greedy(self, matrix, functions, pending_i, pending_j, k) -> None:
+        """Chunked greedy segmentation over an arbitrary pair sequence.
+
+        The sequence is cut into contiguous ``PAIR_CHUNK``-step windows
+        executed to completion in order (which preserves global step
+        order for free); within a window, first-occurrence batches are
+        peeled off exactly like the exchange path, with buffers reused
+        across iterations.
+        """
+        position = self._position_scratch(matrix.shape[0])
+        flat_buffer, slot_numbers = self._chunk_buffers(2 * PAIR_CHUNK)
+        for lo in range(0, len(pending_i), PAIR_CHUNK):
+            chunk_i = pending_i[lo:lo + PAIR_CHUNK]
+            chunk_j = pending_j[lo:lo + PAIR_CHUNK]
+            while True:
+                m = len(chunk_i)
+                flat = flat_buffer[:2 * m]
+                flat[0::2] = chunk_i
+                flat[1::2] = chunk_j
+                slots = slot_numbers[:2 * m]
+                position[flat[::-1]] = slots[::-1]
+                first = position[flat] == slots
+                ready = first[0::2] & first[1::2]
+                if ready.all():
+                    self._apply_batch(matrix, functions, chunk_i, chunk_j, k)
+                    break
+                self._apply_batch(
+                    matrix, functions, chunk_i[ready], chunk_j[ready], k
+                )
+                keep = ~ready
+                chunk_i = chunk_i[keep]
+                chunk_j = chunk_j[keep]
 
 
 def make_backend(name: str) -> ExecutionBackend:

@@ -32,6 +32,15 @@ What remains — applying the cycle's successful exchanges to the matrix
 identical inputs and the vectorized backend preserves per-node exchange
 order, a scenario produces the same trajectory on every backend, churn
 and epoch restarts included.
+
+A scenario may instead declare a
+:class:`~repro.kernel.pairs.PairProtocolSpec`, switching the engine to
+*pair mode*: each cycle becomes ``N`` elementary midpoint steps from a
+pre-materialized GETPAIR sequence (PM / RAND / SEQ / PMRAND — algorithm
+AVG of Figure 2) rather than the push-pull exchange batches. The pair
+draw is engine-owned like every other piece of randomness, so the
+backend equivalence contract carries over unchanged; per-cycle φ counts
+land in :attr:`KernelRunResult.phi_counts`.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..rng import make_rng
 from .backends import ExecutionBackend, make_backend
 from .lifecycle import EpochRestart, EpochView
+from .pairs import PairDraw
 from .scenario import Scenario
 
 
@@ -65,6 +75,9 @@ class KernelRunResult:
     exchange_counts: List[int] = field(default_factory=list)
     alive_counts: List[int] = field(default_factory=list)
     epoch_results: List[Any] = field(default_factory=list)
+    #: pair-mode only (with ``track_phi``): one per-node φ count array
+    #: per executed cycle — Theorem 1's communication counts
+    phi_counts: List[np.ndarray] = field(default_factory=list)
 
     @property
     def primary(self) -> Hashable:
@@ -100,6 +113,19 @@ class GossipEngine:
         self._churn = scenario.churn
         self._epochs = scenario.epochs
         self._dynamic = scenario.is_dynamic
+        # -- pair mode (algorithm AVG, Figure 2) ------------------------
+        self._pair = scenario.pair_protocol
+        self._pair_draw: Optional[PairDraw] = (
+            self._pair.bind(scenario.topology)
+            if self._pair is not None
+            else None
+        )
+        self._pair_plan = (
+            self._pair.segmentation_plan(scenario.n)
+            if self._pair is not None
+            else None
+        )
+        self._phi_log: List[np.ndarray] = []
         # participants: the nodes gossiping in the current epoch. Only
         # diverges from the alive mask under epochs, where mid-epoch
         # joiners wait for the next restart (§4).
@@ -194,7 +220,12 @@ class GossipEngine:
 
     def alive_column(self, name: Optional[Hashable] = None) -> np.ndarray:
         """One instance's approximations over participating nodes."""
-        return self._matrix[self._participant, self._column_index(name)]
+        column = self._matrix[:, self._column_index(name)]
+        if self._participant.all():
+            # everyone participates (the common static case): a plain
+            # column copy beats the boolean-mask gather
+            return column.copy()
+        return column[self._participant]
 
     def variance(self, name: Optional[Hashable] = None) -> float:
         """Unbiased variance of participants' approximations (eq. 3)."""
@@ -386,9 +417,36 @@ class GossipEngine:
 
     # -- execution -------------------------------------------------------
 
+    def _run_pair_cycle(self) -> int:
+        """One cycle of algorithm AVG (Figure 2): ``N`` elementary
+        midpoint steps from the selector's pre-materialized pair
+        sequence. The pair draw is the cycle's only RNG consumption, so
+        both backends replay identical sequences; the vectorized
+        backend segments the sequence into conflict-free batches that
+        preserve each node's step order (PM halves are conflict-free by
+        construction and need exactly two batches)."""
+        pairs = self._pair_draw(self._rng)
+        if self._pair.track_phi:
+            self._phi_log.append(
+                np.bincount(pairs.ravel(), minlength=self.capacity)
+            )
+        self._backend.apply_pairs(
+            self._matrix,
+            self._functions,
+            pairs[:, 0],
+            pairs[:, 1],
+            plan=self._pair_plan,
+            cycle=self.cycle,
+            trace=self._trace,
+        )
+        self.cycle += 1
+        return int(pairs.shape[0])
+
     def run_cycle(self) -> int:
         """One synchronous cycle (every participant initiates once, in
         slot order). Returns the number of successful exchanges."""
+        if self._pair is not None:
+            return self._run_pair_cycle()
         scenario = self.scenario
         if (
             self._epochs is not None
@@ -474,6 +532,7 @@ class GossipEngine:
         # only epochs completed during *this* call are reported (the
         # engine-level epoch_results property stays cumulative)
         epochs_already_reported = len(self._epoch_results)
+        phi_already_reported = len(self._phi_log)
         result = KernelRunResult(instance_names=self._names)
         if not epoch_mode:
             for name in self._names:
@@ -505,6 +564,7 @@ class GossipEngine:
             # epoch's converged estimates
             self._finalize_epoch(self.cycle - 1)
         result.epoch_results = self._epoch_results[epochs_already_reported:]
+        result.phi_counts = self._phi_log[phi_already_reported:]
         return result
 
 

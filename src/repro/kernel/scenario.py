@@ -27,6 +27,7 @@ from ..rng import SeedLike
 from ..topology.base import Topology
 from ..topology.complete import CompleteTopology
 from .lifecycle import ChurnSpec, EpochSpec
+from .pairs import PairProtocolSpec, TheoremSAggregate
 
 #: backend names accepted by :attr:`Scenario.backend`
 BACKEND_NAMES = ("auto", "reference", "vectorized")
@@ -82,6 +83,16 @@ class Scenario:
         epoch/restart machinery. Implies the same uniform-overlay rule
         as ``churn``; joiners wait for the next epoch start before they
         participate.
+    pair_protocol:
+        Optional :class:`~repro.kernel.pairs.PairProtocolSpec`. When
+        set, the engine runs in *pair mode*: each cycle is ``N``
+        elementary midpoint steps from a pre-materialized GETPAIR
+        sequence (algorithm AVG, Figure 2) instead of the push-pull
+        exchange batches. Pair mode owns the instance layout (an
+        ``"avg"`` column, plus an ``"s"`` column when the spec tracks
+        Theorem 1's parallel vector) and models the paper's
+        failure-free §3 analysis setting — loss, crashes, partitions,
+        churn and epochs are rejected.
     cycles:
         Default cycle budget for :func:`run_scenario`-style drivers.
     seed:
@@ -104,6 +115,7 @@ class Scenario:
     partition: Optional[object] = None
     churn: Optional[ChurnSpec] = None
     epochs: Optional[EpochSpec] = None
+    pair_protocol: Optional[PairProtocolSpec] = None
     cycles: int = 30
     seed: SeedLike = None
     backend: str = "auto"
@@ -180,6 +192,54 @@ class Scenario:
                     "overlay and require CompleteTopology (it fixes the "
                     f"initial size); got {type(self.topology).__name__}"
                 )
+        if self.pair_protocol is not None:
+            self._init_pair_mode()
+
+    def _init_pair_mode(self) -> None:
+        """Validate and normalize a pair-mode scenario: the GETPAIR
+        protocol defines its own instance layout, and Figure 2's AVG is
+        the failure-free analysis setting."""
+        spec = self.pair_protocol
+        if not isinstance(spec, PairProtocolSpec):
+            raise ConfigurationError(
+                f"pair_protocol must be a PairProtocolSpec, got "
+                f"{type(spec).__name__}"
+            )
+        if (
+            self.loss_probability != 0.0
+            or self.loss_schedule is not None
+            or self.crash_plan is not None
+            or self.partition is not None
+            or self.is_dynamic
+        ):
+            raise ConfigurationError(
+                "pair-mode scenarios model the failure-free AVG of "
+                "Figure 2; loss, crash plans, partitions, churn and "
+                "epochs are not supported with pair_protocol"
+            )
+        spec.validate_topology(self.topology)
+        # pair mode owns the instance layout; accept only the default
+        # aggregates or an already-normalized layout (replace() re-runs
+        # this hook on the rewritten fields)
+        keys = tuple(map(str, self.aggregates))
+        if keys not in (("mean",), ("avg",), ("avg", "s")):
+            raise ConfigurationError(
+                "pair-mode scenarios define their own aggregate columns; "
+                "leave `aggregates` at its default"
+            )
+        if self.initial is not None and set(map(str, self.initial)) != {"s"}:
+            raise ConfigurationError(
+                "pair-mode scenarios derive their initial columns from "
+                "`values`; leave `initial` unset"
+            )
+        aggregates = {"avg": MeanAggregate()}
+        initial = None
+        if spec.track_s:
+            # Theorem 1's parallel vector, seeded with s_0 = a_0^2
+            aggregates["s"] = TheoremSAggregate()
+            initial = {"s": self.values * self.values}
+        object.__setattr__(self, "aggregates", aggregates)
+        object.__setattr__(self, "initial", initial)
 
     # -- derived views ---------------------------------------------------
 

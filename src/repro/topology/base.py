@@ -15,7 +15,7 @@ Two families exist:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,10 +64,16 @@ class Topology(ABC):
                     yield (i, j)
 
     def has_edge(self, i: int, j: int) -> bool:
-        """Whether ``i`` and ``j`` are neighbors."""
+        """Whether ``i`` and ``j`` are neighbors.
+
+        Generic fallback: a linear scan of ``neighbors(i)`` with no
+        per-call allocation. Subclasses with stored adjacency override
+        this with an O(1) set lookup (:class:`AdjacencyTopology`) or a
+        closed form (:class:`~repro.topology.complete.CompleteTopology`).
+        """
         self._check_node(i)
         self._check_node(j)
-        return j in set(self.neighbors(i))
+        return j in self.neighbors(i)
 
     def random_neighbor_array(
         self, nodes: np.ndarray, rng: np.random.Generator
@@ -109,6 +115,9 @@ class AdjacencyTopology(Topology):
         if validate:
             self._validate()
         self._edge_array = self._build_edge_array()
+        # built lazily on the first has_edge call; adjacency is
+        # immutable so the cache never invalidates
+        self._neighbor_sets: Optional[List[set]] = None
 
     @classmethod
     def from_edges(
@@ -147,6 +156,17 @@ class AdjacencyTopology(Topology):
     def neighbors(self, node: int) -> np.ndarray:
         self._check_node(node)
         return self._adjacency[node]
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """O(1) membership test against cached adjacency sets (the
+        base-class fallback would allocate-and-scan O(deg) per call)."""
+        self._check_node(i)
+        self._check_node(j)
+        if self._neighbor_sets is None:
+            self._neighbor_sets = [
+                set(row.tolist()) for row in self._adjacency
+            ]
+        return j in self._neighbor_sets[i]
 
     def degree(self, node: int) -> int:
         self._check_node(node)

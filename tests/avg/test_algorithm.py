@@ -118,6 +118,46 @@ class TestCycleStats:
         geo = result.geometric_mean_reduction()
         assert geo**5 == pytest.approx(result.overall_reduction, rel=1e-9)
 
+    def test_geometric_mean_reduction_ignores_converged_cycles(self):
+        """Regression: a run that hits exact convergence mid-way used to
+        report nan for the whole run (the 0.0 ratio survived the
+        nan-filter and tripped the <= 0 guard). Converged-cycle ratios
+        are dropped; the pre-convergence empirical rate remains."""
+        from repro.avg import CycleStats, RunResult
+
+        result = RunResult(initial_variance=4.0, initial_mean=1.0)
+        result.cycles = [
+            CycleStats(1, 4.0, 1.0, np.full(4, 2)),   # ratio 0.25
+            CycleStats(2, 1.0, 0.25, np.full(4, 2)),  # ratio 0.25
+            CycleStats(3, 0.25, 0.0, np.full(4, 2)),  # converged: ratio 0.0
+            CycleStats(4, 0.0, 0.0, np.full(4, 2)),   # past it: ratio nan
+        ]
+        assert result.geometric_mean_reduction() == pytest.approx(0.25)
+
+    def test_geometric_mean_reduction_nan_when_born_converged(self):
+        """A run with no pre-convergence cycles still reports nan."""
+        topo = CompleteTopology(10)
+        vec = ValueVector.constant(10, 1.0)
+        result = run_avg(vec, GetPairSeq(topo), 3, seed=1)
+        assert np.isnan(result.geometric_mean_reduction())
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_backends_agree_bitwise(self, topo, backend):
+        """The AvgAlgorithm thin shell inherits the kernel's backend
+        equivalence contract: explicit backends match `auto` bitwise."""
+        auto_vec = ValueVector.uniform(200, seed=4)
+        auto = run_avg(auto_vec, GetPairSeq(topo), 6, seed=5, track_s=True)
+        other_vec = ValueVector.uniform(200, seed=4)
+        other = run_avg(other_vec, GetPairSeq(topo), 6, seed=5, track_s=True,
+                        backend=backend)
+        assert np.array_equal(auto_vec.values, other_vec.values)
+        assert [c.variance_after for c in auto.cycles] == [
+            c.variance_after for c in other.cycles
+        ]
+        assert [c.s_mean for c in auto.cycles] == [
+            c.s_mean for c in other.cycles
+        ]
+
 
 class TestTrackS:
     def test_s_mean_recorded(self, topo):

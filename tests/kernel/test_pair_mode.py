@@ -1,0 +1,321 @@
+"""Pair-mode (algorithm AVG) equivalence contract.
+
+When a scenario declares a :class:`PairProtocolSpec`, the engine runs
+each cycle as ``N`` elementary midpoint steps from a pre-materialized
+GETPAIR sequence. The pair draw is the cycle's only RNG consumption and
+happens in the engine, so the two backends replay identical sequences:
+
+* the reference backend steps through the sequence one pair at a time
+  (the semantic oracle — structurally the pre-refactor ``AvgAlgorithm``
+  loop), and
+* the vectorized backend greedily segments the sequence into
+  conflict-free batches that preserve each node's step order,
+
+and the resulting trajectories must agree **bitwise** for all four
+selectors, on complete and sparse overlays, with and without Theorem
+1's parallel ``s`` column. The φ distribution properties of §3.3 (PM
+≡ 2, RAND ≈ Poisson(2), SEQ/PMRAND ≈ 1 + Poisson(1)) are asserted on
+the kernel-recorded ``phi_counts`` directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.avg import (
+    GetPairPerfectMatching,
+    GetPairPMRand,
+    GetPairRand,
+    GetPairSeq,
+    PairSelector,
+    ValueVector,
+    run_avg,
+)
+from repro.avg.theory import RATE_PM, RATE_RAND, RATE_SEQ
+from repro.avg.vector import empirical_variance
+from repro.errors import ConfigurationError, PairSelectionError
+from repro.failures import ConstantRateChurn
+from repro.kernel import GossipEngine, PairProtocolSpec, Scenario
+from repro.rng import make_rng
+from repro.topology import CompleteTopology, RandomRegularTopology, RingTopology
+
+SELECTORS = {
+    "pm": GetPairPerfectMatching,
+    "rand": GetPairRand,
+    "seq": GetPairSeq,
+    "pmrand": GetPairPMRand,
+}
+
+#: selectors that work on any overlay (PM/PMRAND need global knowledge)
+SPARSE_SELECTORS = ("rand", "seq")
+
+
+def pair_scenario(topology, selector, *, track_s=False, backend="reference",
+                  seed=51):
+    values = np.random.default_rng(13).normal(5.0, 2.0, topology.n)
+    return Scenario(
+        topology,
+        values,
+        pair_protocol=PairProtocolSpec(selector=selector, track_s=track_s),
+        seed=seed,
+        backend=backend,
+    )
+
+
+def run_both(topology, selector, *, track_s=False, cycles=10, seed=51):
+    outputs = []
+    for backend in ("reference", "vectorized"):
+        engine = GossipEngine(
+            pair_scenario(topology, selector, track_s=track_s,
+                          backend=backend, seed=seed)
+        )
+        outputs.append((engine, engine.run(cycles)))
+    return outputs
+
+
+def assert_identical(ref, vec):
+    ref_engine, ref_result = ref
+    vec_engine, vec_result = vec
+    assert np.array_equal(ref_engine.matrix, vec_engine.matrix)
+    assert ref_result.exchange_counts == vec_result.exchange_counts
+    for name in ref_result.instance_names:
+        assert np.array_equal(
+            ref_result.variance_array(name), vec_result.variance_array(name)
+        )
+        assert np.array_equal(
+            ref_result.mean_array(name), vec_result.mean_array(name)
+        )
+    assert len(ref_result.phi_counts) == len(vec_result.phi_counts)
+    for ref_phi, vec_phi in zip(ref_result.phi_counts, vec_result.phi_counts):
+        assert np.array_equal(ref_phi, vec_phi)
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("selector", list(SELECTORS))
+    @pytest.mark.parametrize("track_s", [False, True],
+                             ids=["values-only", "with-s"])
+    def test_complete(self, selector, track_s):
+        ref, vec = run_both(CompleteTopology(400), selector, track_s=track_s)
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("selector", SPARSE_SELECTORS)
+    @pytest.mark.parametrize(
+        "topology",
+        [RandomRegularTopology(400, 8, seed=23), RingTopology(400)],
+        ids=lambda t: type(t).__name__,
+    )
+    def test_sparse(self, selector, topology):
+        ref, vec = run_both(topology, selector, track_s=True)
+        assert_identical(ref, vec)
+
+    def test_incremental_runs_stay_equal(self):
+        """phi_counts are per-run slices, like exchange_counts."""
+        engines = [
+            GossipEngine(pair_scenario(CompleteTopology(200), "seq",
+                                       backend=backend))
+            for backend in ("reference", "vectorized")
+        ]
+        for cycles in (4, 3):
+            results = [engine.run(cycles) for engine in engines]
+            assert len(results[0].phi_counts) == cycles
+            assert_identical(
+                (engines[0], results[0]), (engines[1], results[1])
+            )
+
+
+class TestSequentialOracle:
+    """The reference trajectory must match a verbatim replay of the
+    pre-kernel ``AvgAlgorithm`` loop — same RNG draws, same elementary
+    steps, bitwise."""
+
+    @staticmethod
+    def replay(topology, selector_cls, cycles, seed, values):
+        selector = selector_cls(topology)
+        rng = make_rng(seed)
+        state = values.tolist()
+        s_state = [v * v for v in state]
+        trajectory, s_trajectory = [], []
+        for _ in range(cycles):
+            for i, j in selector.cycle_pairs(rng).tolist():
+                midpoint = (state[i] + state[j]) * 0.5
+                state[i] = midpoint
+                state[j] = midpoint
+                quarter = (s_state[i] + s_state[j]) * 0.25
+                s_state[i] = quarter
+                s_state[j] = quarter
+            trajectory.append(empirical_variance(np.asarray(state)))
+            s_trajectory.append(float(np.mean(s_state)))
+        return np.asarray(state), trajectory, s_trajectory
+
+    @pytest.mark.parametrize("selector", list(SELECTORS))
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_matches_old_loop(self, selector, backend):
+        topology = CompleteTopology(300)
+        values = np.random.default_rng(29).normal(0.0, 1.0, 300)
+        scenario = Scenario(
+            topology,
+            values,
+            pair_protocol=PairProtocolSpec(selector=selector, track_s=True),
+            seed=91,
+            backend=backend,
+        )
+        engine = GossipEngine(scenario)
+        result = engine.run(6)
+        state, trajectory, s_trajectory = self.replay(
+            topology, SELECTORS[selector], 6, 91, values
+        )
+        assert np.array_equal(engine.alive_column("avg"), state)
+        assert result.variances["avg"][1:] == trajectory
+        assert result.means["s"][1:] == s_trajectory
+
+
+class TestPhiDistributions:
+    """§3.3's φ characterizations, read off kernel phi_counts."""
+
+    def phi(self, selector, n=5000, seed=61):
+        engine = GossipEngine(
+            pair_scenario(CompleteTopology(n), selector, seed=seed,
+                          backend="vectorized")
+        )
+        return np.concatenate(engine.run(4).phi_counts)
+
+    def test_pm_is_exactly_two(self):
+        assert np.all(self.phi("pm") == 2)
+
+    def test_rand_is_poisson_two(self):
+        phi = self.phi("rand")
+        assert phi.mean() == pytest.approx(2.0, abs=0.05)
+        assert phi.var() == pytest.approx(2.0, rel=0.1)  # Var(Poisson(2))
+
+    @pytest.mark.parametrize("selector", ["seq", "pmrand"])
+    def test_seq_and_pmrand_are_one_plus_poisson_one(self, selector):
+        phi = self.phi(selector)
+        assert np.all(phi >= 1)
+        assert phi.mean() == pytest.approx(2.0, abs=0.05)
+        assert phi.var() == pytest.approx(1.0, rel=0.1)  # Var(1+Poisson(1))
+
+    def test_track_phi_off_records_nothing(self):
+        scenario = Scenario(
+            CompleteTopology(100),
+            np.random.default_rng(3).normal(0, 1, 100),
+            pair_protocol=PairProtocolSpec(selector="seq", track_phi=False),
+            seed=5,
+        )
+        assert GossipEngine(scenario).run(3).phi_counts == []
+
+
+class TestConvergenceRates:
+    """The empirical per-cycle rates land on the §3.3 theory values for
+    every selector, on the vectorized backend at a size where the
+    concentration is tight."""
+
+    @pytest.mark.parametrize("selector,theory", [
+        ("pm", RATE_PM),
+        ("rand", RATE_RAND),
+        ("seq", RATE_SEQ),
+        ("pmrand", RATE_SEQ),
+    ])
+    def test_rate(self, selector, theory):
+        topology = CompleteTopology(4000)
+        vector = ValueVector.gaussian(4000, seed=17)
+        result = run_avg(
+            vector, SELECTORS[selector](topology), 10, seed=19,
+            backend="vectorized",
+        )
+        assert result.geometric_mean_reduction() == pytest.approx(
+            theory, rel=0.06
+        )
+
+
+class TestScenarioValidation:
+    def values(self, n=100):
+        return np.random.default_rng(7).normal(0, 1, n)
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairProtocolSpec(selector="bogus")
+
+    def test_pm_odd_n_rejected(self):
+        with pytest.raises(PairSelectionError):
+            Scenario(CompleteTopology(101), self.values(101),
+                     pair_protocol=PairProtocolSpec(selector="pm"))
+
+    def test_pmrand_sparse_rejected(self):
+        with pytest.raises(PairSelectionError):
+            Scenario(RingTopology(100), self.values(),
+                     pair_protocol=PairProtocolSpec(selector="pmrand"))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(loss_probability=0.1),
+        dict(loss_schedule=lambda c: 0.1),
+        dict(churn=ConstantRateChurn(joins_per_cycle=1, leaves_per_cycle=1)),
+    ], ids=["loss", "loss-schedule", "churn"])
+    def test_failure_machinery_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Scenario(CompleteTopology(100), self.values(),
+                     pair_protocol=PairProtocolSpec(selector="seq"), **kwargs)
+
+    def test_custom_aggregates_rejected(self):
+        from repro.core import MaxAggregate
+
+        with pytest.raises(ConfigurationError):
+            Scenario(CompleteTopology(100), self.values(),
+                     aggregates={"max": MaxAggregate()},
+                     pair_protocol=PairProtocolSpec(selector="seq"))
+
+    def test_pair_mode_owns_instance_layout(self):
+        scenario = pair_scenario(CompleteTopology(100), "seq", track_s=True)
+        assert scenario.instance_names == ("avg", "s")
+        matrix = scenario.initial_matrix()
+        assert np.array_equal(matrix[:, 1], scenario.values ** 2)
+
+    def test_replace_reseeds_cleanly(self):
+        """The sweep/replicate drivers re-seed via Scenario.replace();
+        the pair-mode normalization must be idempotent under it."""
+        scenario = pair_scenario(CompleteTopology(100), "seq", track_s=True)
+        replaced = scenario.replace(seed=99)
+        assert replaced.instance_names == ("avg", "s")
+        result = GossipEngine(replaced).run(2)
+        assert len(result.phi_counts) == 2
+
+
+class TestCustomSelectors:
+    """User-defined PairSelector subclasses (the pre-kernel extension
+    point: subclass, name, override cycle_pairs) still run through
+    AvgAlgorithm — via a custom PairProtocolSpec generator — with the
+    backends bitwise-equal."""
+
+    class RoundRobin(PairSelector):
+        name = "round_robin"
+
+        def cycle_pairs(self, rng):
+            n = self.n
+            shift = 1 + int(rng.integers(0, n - 1))
+            initiators = np.arange(n, dtype=np.int64)
+            return np.column_stack((initiators, (initiators + shift) % n))
+
+    def test_constructs_without_kernel_name(self):
+        selector = self.RoundRobin(CompleteTopology(64))
+        assert selector.name == "round_robin"
+
+    def test_runs_on_both_backends_bitwise(self):
+        results = {}
+        for backend in ("reference", "vectorized"):
+            vector = ValueVector.gaussian(256, seed=5)
+            selector = self.RoundRobin(CompleteTopology(256))
+            run = run_avg(vector, selector, 6, seed=8, track_s=True,
+                          backend=backend)
+            results[backend] = (vector.snapshot(), run)
+        ref_values, ref_run = results["reference"]
+        vec_values, vec_run = results["vectorized"]
+        assert np.array_equal(ref_values, vec_values)
+        assert [c.variance_after for c in ref_run.cycles] == [
+            c.variance_after for c in vec_run.cycles
+        ]
+        assert all(
+            np.array_equal(a.phi, b.phi)
+            for a, b in zip(ref_run.cycles, vec_run.cycles)
+        )
+
+    def test_custom_generator_spec_validates_label(self):
+        with pytest.raises(ConfigurationError):
+            PairProtocolSpec(selector="", generator=lambda t, r: None)
