@@ -54,9 +54,11 @@ SEED = 17
 SPEEDUP_FLOOR = 5.0  # acceptance target at N = 100 000
 
 
-def service_scenario(n, backend, *, seed=SEED, cycles=CYCLES):
+def service_scenario(n, backend, *, seed=SEED, cycles=CYCLES, topology=None):
     """The AggregationService workload as a kernel scenario: all five
-    standard instances in one pass."""
+    standard instances in one pass. ``topology`` defaults to the
+    complete graph; ``bench_sparse.py`` reuses the same workload over
+    the sparse overlay families."""
     values = make_rng(seed).normal(10.0, 4.0, n)
     indicator = np.zeros(n)
     indicator[int(make_rng(seed + 1).integers(0, n))] = 1.0
@@ -73,8 +75,10 @@ def service_scenario(n, backend, *, seed=SEED, cycles=CYCLES):
             "count": indicator,
         },
     )
+    if topology is None:
+        topology = CompleteTopology(n)
     return spec.scenario(
-        CompleteTopology(n), values, seed=seed, cycles=cycles, backend=backend
+        topology, values, seed=seed, cycles=cycles, backend=backend
     )
 
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro figure3a              # Figure 3(a) series
     python -m repro figure3a --n 100000 --backend vectorized
                                           # Figure 3 point at paper scale
+    python -m repro figure3a --n 100000 --topology regular20 --backend vectorized
+                                          # sparse-overlay series, paper scale
     python -m repro figure4 --cycles 300  # Figure 4, scaled down
     python -m repro figure4 --n 100000 --backend vectorized
                                           # Figure 4 at paper scale
@@ -71,13 +73,21 @@ def _cmd_rates(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure3a(args: argparse.Namespace) -> int:
+    label = args.topology
     table = Table(
-        headers=["N", "rand/complete", "seq/complete"],
+        headers=["N", f"rand/{label}", f"seq/{label}"],
         title="Figure 3(a): variance reduction after one AVG execution",
     )
     sizes = (100, 316, 1000, 3162) if args.n is None else (args.n,)
     for n in sizes:
-        topology = CompleteTopology(n)
+        if args.topology == "regular20":
+            if n <= 20:
+                raise SystemExit(
+                    f"--topology regular20 needs n > 20, got {n}"
+                )
+            topology = RandomRegularTopology(n, 20, seed=n)
+        else:
+            topology = CompleteTopology(n)
         row = [n]
         for factory in (GetPairRand, GetPairSeq):
             def one_run(rng, factory=factory):
@@ -212,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     f3a.add_argument(
         "--backend", choices=list(BACKEND_NAMES), default="auto",
         help="kernel execution backend",
+    )
+    f3a.add_argument(
+        "--topology", choices=["complete", "regular20"], default="complete",
+        help="overlay for the series: the complete graph or the paper's "
+             "20-regular random overlay (needs n > 20)",
     )
     f3a.set_defaults(func=_cmd_figure3a)
 

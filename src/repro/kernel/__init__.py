@@ -32,12 +32,14 @@ from .pairs import (
     TheoremSAggregate,
 )
 from .backends import (
+    PAIR_CHUNK,
     ExecutionBackend,
     ReferenceBackend,
     VectorizedBackend,
     make_backend,
+    resolve_chunk,
 )
-from .engine import GossipEngine, KernelRunResult, run_scenario
+from .engine import CyclePlan, GossipEngine, KernelRunResult, run_scenario
 
 __all__ = [
     "AUTO_VECTORIZE_THRESHOLD",
@@ -50,10 +52,13 @@ __all__ = [
     "PAIR_SELECTOR_NAMES",
     "PairProtocolSpec",
     "TheoremSAggregate",
+    "PAIR_CHUNK",
     "ExecutionBackend",
     "ReferenceBackend",
     "VectorizedBackend",
     "make_backend",
+    "resolve_chunk",
+    "CyclePlan",
     "GossipEngine",
     "KernelRunResult",
     "run_scenario",

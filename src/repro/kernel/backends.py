@@ -35,6 +35,7 @@ one gather.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence, Tuple
 
@@ -44,13 +45,51 @@ from ..core.aggregates import AggregateFunction, MeanAggregate
 from ..errors import ConfigurationError, SimulationError
 
 
-#: contiguous steps per greedy-segmentation window in the vectorized
-#: pair path. Executing each window to completion before the next
-#: trivially preserves global step order, and within a few thousand
-#: steps node collisions are rare (1–3 batches instead of ~max φ), so
-#: the first-occurrence scans touch far fewer elements and stay
-#: cache-resident.
+#: default number of contiguous steps per greedy-segmentation window in
+#: the vectorized backend. Executing each window to completion before
+#: the next trivially preserves global step order, and within a few
+#: thousand steps node collisions are rare (1–3 batches instead of
+#: ~max φ), so the first-occurrence scans touch far fewer elements and
+#: stay cache-resident. Tunable per machine via the ``REPRO_PAIR_CHUNK``
+#: environment variable or per run via
+#: :attr:`~repro.kernel.pairs.PairProtocolSpec.chunk`.
 PAIR_CHUNK = 4096
+
+#: once a greedy window has this few pending steps left, finish it
+#: sequentially: batch sizes decay geometrically, so the tail of the
+#: peel loop pays a full first-occurrence scan (a dozen numpy calls)
+#: per handful of steps. Purely a constant-factor knob — results stay
+#: bitwise-identical.
+GREEDY_TAIL = 48
+
+
+def resolve_chunk(chunk: Optional[int] = None) -> int:
+    """The effective greedy-segmentation window size.
+
+    Precedence: an explicit ``chunk`` (e.g. from
+    :attr:`PairProtocolSpec.chunk`), then the ``REPRO_PAIR_CHUNK``
+    environment variable, then the :data:`PAIR_CHUNK` default. Raises
+    :class:`ConfigurationError` on non-positive or non-integer values.
+    """
+    if chunk is None:
+        env = os.environ.get("REPRO_PAIR_CHUNK", "").strip()
+        if not env:
+            return PAIR_CHUNK
+        try:
+            chunk = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_PAIR_CHUNK must be a positive integer, got {env!r}"
+            ) from None
+    if isinstance(chunk, bool) or not isinstance(chunk, (int, np.integer)):
+        raise ConfigurationError(
+            f"pair chunk must be a positive integer, got {chunk!r}"
+        )
+    if chunk < 1:
+        raise ConfigurationError(
+            f"pair chunk must be a positive integer, got {chunk}"
+        )
+    return int(chunk)
 
 
 class ExecutionBackend(ABC):
@@ -87,6 +126,7 @@ class ExecutionBackend(ABC):
         pairs_j: np.ndarray,
         *,
         plan: Optional[Tuple[Tuple[int, int, bool], ...]] = None,
+        chunk: Optional[int] = None,
         cycle: int = 0,
         trace=None,
     ) -> None:
@@ -97,7 +137,10 @@ class ExecutionBackend(ABC):
         covering the sequence, marking stretches that are node-disjoint
         *by construction* (PM's matching halves). Sequential backends
         may ignore it; the vectorized backend applies a conflict-free
-        segment as a single batch with no segmentation scan.
+        segment as a single batch with no segmentation scan. ``chunk``
+        optionally overrides the greedy-segmentation window size
+        (:func:`resolve_chunk`); it never changes results, only batch
+        shapes.
         """
         self.apply_exchanges(
             matrix, functions, pairs_i, pairs_j, cycle=cycle, trace=trace
@@ -169,10 +212,11 @@ class VectorizedBackend(ExecutionBackend):
 
     name = "vectorized"
 
-    def __init__(self):
+    def __init__(self, *, chunk: Optional[int] = None):
         self._scratch: Optional[np.ndarray] = None
         self._flat: Optional[np.ndarray] = None
         self._slots: Optional[np.ndarray] = None
+        self._chunk = resolve_chunk(chunk)
 
     def _position_scratch(self, n: int) -> np.ndarray:
         if self._scratch is None or len(self._scratch) < n:
@@ -201,47 +245,18 @@ class VectorizedBackend(ExecutionBackend):
                 "the vectorized backend does not support exchange tracing; "
                 "use backend='reference'"
             )
-        pending_i = np.asarray(exch_i, dtype=np.int32)
-        pending_j = np.asarray(exch_j, dtype=np.int32)
-        k = matrix.shape[1]
-        position = self._position_scratch(matrix.shape[0])
-        while len(pending_i):
-            m = len(pending_i)
-            flat = np.empty(2 * m, dtype=np.int32)
-            flat[0::2] = pending_i
-            flat[1::2] = pending_j
-            # position[v] <- first slot where node v occurs: scatter slot
-            # numbers in reverse so the earliest write lands last
-            slots = np.arange(2 * m, dtype=np.int32)
-            position[flat[::-1]] = slots[::-1]
-            first = position[flat] == slots
-            # an exchange is ready when no earlier pending exchange
-            # touches either endpoint; ready exchanges are node-disjoint
-            ready = first[0::2] & first[1::2]
-            batch_i = pending_i[ready]
-            batch_j = pending_j[ready]
-            if k == 1:
-                column = matrix[:, 0]
-                combined = functions[0].combine_array(
-                    column[batch_i], column[batch_j]
-                )
-                column[batch_i] = combined
-                column[batch_j] = combined
-            else:
-                # gather whole rows once (contiguous k-wide blocks) and
-                # combine column-wise on the compact copies
-                rows_i = matrix[batch_i]
-                rows_j = matrix[batch_j]
-                combined_rows = np.empty_like(rows_i)
-                for c, function in enumerate(functions):
-                    combined_rows[:, c] = function.combine_array(
-                        rows_i[:, c], rows_j[:, c]
-                    )
-                matrix[batch_i] = combined_rows
-                matrix[batch_j] = combined_rows
-            keep = ~ready
-            pending_i = pending_i[keep]
-            pending_j = pending_j[keep]
+        pending_i = np.ascontiguousarray(exch_i, dtype=np.int32)
+        pending_j = np.ascontiguousarray(exch_j, dtype=np.int32)
+        if len(pending_i) == 0:
+            return
+        # same chunked order-preserving greedy segmentation as the pair
+        # path, with the interleave/slot buffers reused across windows
+        # and cycles (this loop used to allocate fresh flat/slots
+        # arrays on every batch iteration)
+        self._apply_greedy(
+            matrix, functions, pending_i, pending_j, matrix.shape[1],
+            self._chunk,
+        )
 
     # -- pair mode --------------------------------------------------------
 
@@ -253,6 +268,7 @@ class VectorizedBackend(ExecutionBackend):
         pairs_j: np.ndarray,
         *,
         plan: Optional[Tuple[Tuple[int, int, bool], ...]] = None,
+        chunk: Optional[int] = None,
         cycle: int = 0,
         trace=None,
     ) -> None:
@@ -272,6 +288,7 @@ class VectorizedBackend(ExecutionBackend):
         pi = np.ascontiguousarray(pairs_i, dtype=np.int32)
         pj = np.ascontiguousarray(pairs_j, dtype=np.int32)
         k = matrix.shape[1]
+        window = self._chunk if chunk is None else resolve_chunk(chunk)
         if plan is None:
             plan = ((0, len(pi), False),)
         for start, end, conflict_free in plan:
@@ -281,7 +298,8 @@ class VectorizedBackend(ExecutionBackend):
                 )
             else:
                 self._apply_greedy(
-                    matrix, functions, pi[start:end], pj[start:end], k
+                    matrix, functions, pi[start:end], pj[start:end], k,
+                    window,
                 )
 
     def _apply_batch(self, matrix, functions, batch_i, batch_j, k) -> None:
@@ -304,22 +322,32 @@ class VectorizedBackend(ExecutionBackend):
         matrix[batch_i] = combined_rows
         matrix[batch_j] = combined_rows
 
-    def _apply_greedy(self, matrix, functions, pending_i, pending_j, k) -> None:
-        """Chunked greedy segmentation over an arbitrary pair sequence.
+    def _apply_greedy(
+        self, matrix, functions, pending_i, pending_j, k, window
+    ) -> None:
+        """Chunked greedy segmentation over an arbitrary exchange/pair
+        sequence.
 
-        The sequence is cut into contiguous ``PAIR_CHUNK``-step windows
+        The sequence is cut into contiguous ``window``-step stretches
         executed to completion in order (which preserves global step
         order for free); within a window, first-occurrence batches are
-        peeled off exactly like the exchange path, with buffers reused
-        across iterations.
+        peeled off with the scatter/gather trick, the interleave and
+        slot-number buffers reused across iterations. Once a window is
+        down to its last few conflicted steps (:data:`GREEDY_TAIL`)
+        they run sequentially — the batch sizes decay geometrically, so
+        the tail would otherwise burn one full scan per handful of
+        steps.
         """
         position = self._position_scratch(matrix.shape[0])
-        flat_buffer, slot_numbers = self._chunk_buffers(2 * PAIR_CHUNK)
-        for lo in range(0, len(pending_i), PAIR_CHUNK):
-            chunk_i = pending_i[lo:lo + PAIR_CHUNK]
-            chunk_j = pending_j[lo:lo + PAIR_CHUNK]
+        flat_buffer, slot_numbers = self._chunk_buffers(2 * window)
+        for lo in range(0, len(pending_i), window):
+            chunk_i = pending_i[lo:lo + window]
+            chunk_j = pending_j[lo:lo + window]
             while True:
                 m = len(chunk_i)
+                if m <= GREEDY_TAIL:
+                    self._apply_tail(matrix, functions, chunk_i, chunk_j, k)
+                    break
                 flat = flat_buffer[:2 * m]
                 flat[0::2] = chunk_i
                 flat[1::2] = chunk_j
@@ -336,6 +364,31 @@ class VectorizedBackend(ExecutionBackend):
                 keep = ~ready
                 chunk_i = chunk_i[keep]
                 chunk_j = chunk_j[keep]
+
+    def _apply_tail(self, matrix, functions, tail_i, tail_j, k) -> None:
+        """Run the last few steps of a window in sequential step order.
+
+        ``combine_array`` is IEEE-identical to the scalar ``combine``
+        (the :class:`~repro.core.aggregates.AggregateFunction`
+        contract), so switching to the scalar path mid-window keeps the
+        result bitwise-equal to the batched execution.
+        """
+        if len(tail_i) == 0:
+            return
+        steps = zip(tail_i.tolist(), tail_j.tolist())
+        if k == 1:
+            column = matrix[:, 0]
+            combine = functions[0].combine
+            for i, j in steps:
+                combined = combine(column[i], column[j])
+                column[i] = combined
+                column[j] = combined
+            return
+        for i, j in steps:
+            for c, function in enumerate(functions):
+                combined = function.combine(matrix[i, c], matrix[j, c])
+                matrix[i, c] = combined
+                matrix[j, c] = combined
 
 
 def make_backend(name: str) -> ExecutionBackend:

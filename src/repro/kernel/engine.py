@@ -93,6 +93,68 @@ class KernelRunResult:
         return np.asarray(self.means[self.primary if name is None else name])
 
 
+class CyclePlan:
+    """Reusable per-cycle scratch for :meth:`GossipEngine.run_cycle`.
+
+    The engine's per-cycle setup used to allocate fresh initiator,
+    partner, coin-mask and compacted-exchange arrays every cycle; at
+    paper scale that constant dominates the vectorized backend's
+    runtime. A ``CyclePlan`` owns int32 buffers (the backends' native
+    index dtype, so the handoff is copy-free) that are reallocated only
+    when engine capacity grows, plus a cached compacted initiator set
+    keyed on a mask *version stamp* — any alive/participant mutation
+    (crash, churn, epoch restart) bumps the stamp and invalidates it.
+    """
+
+    __slots__ = (
+        "capacity", "partners", "ok", "out_i", "out_j",
+        "_initiators", "_version",
+    )
+
+    def __init__(self):
+        self.capacity = -1
+        self.partners: Optional[np.ndarray] = None
+        self.ok: Optional[np.ndarray] = None
+        self.out_i: Optional[np.ndarray] = None
+        self.out_j: Optional[np.ndarray] = None
+        self._initiators: Optional[np.ndarray] = None
+        self._version = -1
+
+    def ensure(self, capacity: int) -> None:
+        """Size the buffers for ``capacity`` node slots."""
+        if capacity <= self.capacity:
+            return
+        self.capacity = capacity
+        self.partners = np.empty(capacity, dtype=np.int32)
+        self.ok = np.empty(capacity, dtype=bool)
+        self.out_i = np.empty(capacity, dtype=np.int32)
+        self.out_j = np.empty(capacity, dtype=np.int32)
+        self._initiators = None
+
+    def initiators(self, mask: np.ndarray, version: int) -> np.ndarray:
+        """The compacted indices of ``mask``, cached until ``version``
+        changes (static runs pay the O(capacity) scan once, not per
+        cycle)."""
+        if self._initiators is None or self._version != version:
+            self._initiators = np.flatnonzero(mask).astype(np.int32)
+            self._version = version
+        return self._initiators
+
+    def compact(
+        self, initiators: np.ndarray, partners: np.ndarray, ok: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One compaction of the surviving exchanges into the reusable
+        output buffers (the former ``initiators[ok]`` / ``partners[ok]``
+        pair scanned the mask twice and allocated twice)."""
+        selected = np.flatnonzero(ok)
+        m = len(selected)
+        exch_i = self.out_i[:m]
+        exch_j = self.out_j[:m]
+        np.take(initiators, selected, out=exch_i)
+        np.take(partners, selected, out=exch_j)
+        return exch_i, exch_j
+
+
 class GossipEngine:
     """Cycle-driven execution of a :class:`Scenario`.
 
@@ -109,6 +171,10 @@ class GossipEngine:
         self._alive = np.ones(scenario.n, dtype=bool)
         self._rng = make_rng(scenario.seed)
         self._trace = trace
+        # reusable per-cycle scratch; bump _mask_version on every
+        # alive/participant mutation so its initiator cache invalidates
+        self._plan = CyclePlan()
+        self._mask_version = 0
         # -- lifecycle state --------------------------------------------
         self._churn = scenario.churn
         self._epochs = scenario.epochs
@@ -249,6 +315,7 @@ class GossipEngine:
             if self._alive[node_id]:
                 self._alive[node_id] = False
                 self._participant[node_id] = False
+                self._mask_version += 1
                 if self._dynamic:
                     self._free_slots.append(int(node_id))
 
@@ -268,6 +335,7 @@ class GossipEngine:
             leavers = alive_ids[picks]
             self._alive[leavers] = False
             self._participant[leavers] = False
+            self._mask_version += 1
             self._free_slots.extend(int(s) for s in leavers)
         if step.joins > 0:
             self._admit(int(step.joins))
@@ -314,6 +382,7 @@ class GossipEngine:
         # under epochs a joiner waits for the next restart (§4); under
         # plain churn it participates immediately
         self._participant[slots] = self._epochs is None
+        self._mask_version += 1
 
         spec = self._churn
         k = self._matrix.shape[1]
@@ -355,6 +424,7 @@ class GossipEngine:
         participant and its row is re-seeded in place."""
         self.epoch += 1
         np.copyto(self._participant, self._alive)
+        self._mask_version += 1
         participants = np.nonzero(self._participant)[0]
         self._epoch_start_cycle = cycle
         self._size_at_epoch_start = len(participants)
@@ -436,6 +506,7 @@ class GossipEngine:
             pairs[:, 0],
             pairs[:, 1],
             plan=self._pair_plan,
+            chunk=self._pair.chunk,
             cycle=self.cycle,
             trace=self._trace,
         )
@@ -462,11 +533,13 @@ class GossipEngine:
         if self._churn is not None:
             self._apply_churn()
         rng = self._rng
+        plan = self._plan
+        plan.ensure(self.capacity)
         if self._dynamic:
             # the paper's uniform overlay over current participants:
             # each initiator draws a uniformly random *other*
             # participant (self-picks shift to the next position)
-            initiators = np.nonzero(self._participant)[0]
+            initiators = plan.initiators(self._participant, self._mask_version)
             count = len(initiators)
             if count < 2:
                 self.cycle += 1
@@ -475,33 +548,41 @@ class GossipEngine:
             clash = positions == np.arange(count)
             if clash.any():
                 positions[clash] = (positions[clash] + 1) % count
-            partners = initiators[positions]
+            partners = plan.partners[:count]
+            np.take(initiators, positions, out=partners)
+            ok = plan.ok[:count]
             loss = scenario.loss_at(self.cycle)
             if loss > 0.0:
-                ok = rng.random(count) >= loss
+                np.greater_equal(rng.random(count), loss, out=ok)
             else:
-                ok = np.ones(count, dtype=bool)
+                ok[:] = True
         else:
-            initiators = np.nonzero(self._alive)[0]
-            partners = scenario.topology.random_neighbor_array(initiators, rng)
+            initiators = plan.initiators(self._alive, self._mask_version)
+            count = len(initiators)
+            partners = scenario.topology.random_neighbor_array(
+                initiators, rng, out=plan.partners[:count]
+            )
             loss = scenario.loss_at(self.cycle)
-            # contacting a crashed neighbor fails the exchange
-            ok = self._alive[partners]
+            # one fused mask pass: contacting a crashed neighbor fails
+            # the exchange, then loss coins, then the partition filter
+            ok = plan.ok[:count]
+            np.take(self._alive, partners, out=ok)
             if loss > 0.0:
-                ok &= rng.random(len(initiators)) >= loss
+                ok &= rng.random(count) >= loss
             partition = scenario.partition
             if partition is not None and partition.active_at(self.cycle):
                 ok &= ~partition.blocks_array(self.cycle, initiators, partners)
+        exch_i, exch_j = plan.compact(initiators, partners, ok)
         self._backend.apply_exchanges(
             self._matrix,
             self._functions,
-            initiators[ok],
-            partners[ok],
+            exch_i,
+            exch_j,
             cycle=self.cycle,
             trace=self._trace,
         )
         self.cycle += 1
-        return int(ok.sum())
+        return len(exch_i)
 
     def run(
         self, cycles: Optional[int] = None, *, record: str = "cycle"

@@ -32,8 +32,17 @@ from .pairs import PairProtocolSpec, TheoremSAggregate
 #: backend names accepted by :attr:`Scenario.backend`
 BACKEND_NAMES = ("auto", "reference", "vectorized")
 
-#: ``auto`` switches to the vectorized backend at and above this size
-AUTO_VECTORIZE_THRESHOLD = 2048
+#: ``auto`` switches to the vectorized backend at and above this size.
+#: Measured crossover band after the CSR/CyclePlan constant-shaving
+#: (see ``benchmarks/bench_sparse.py --crossover``): the five-instance
+#: service workload crosses near N ≈ 256, pair-mode PM near N ≈ 512,
+#: and the single-instance AGGREGATE_AVG exchange workload — whose
+#: reference path is a very tight list loop — near N ≈ 2048. 1024 is
+#: the band's conservative midpoint: above it the vectorized backend
+#: wins every benchmarked workload by N ≈ 2–3k and is ≥ 5× at paper
+#: scale, below it both backends run a cycle in well under a
+#: millisecond either way.
+AUTO_VECTORIZE_THRESHOLD = 1024
 
 
 def _default_aggregates() -> Mapping[Hashable, AggregateFunction]:

@@ -9,7 +9,12 @@ Two families exist:
 * :class:`CompleteTopology` — neighbors are computed on the fly, nothing
   is stored (the paper's "fully connected" case scales to N = 100 000).
 * :class:`AdjacencyTopology` — an explicit adjacency structure, the base
-  of every sparse graph in this package.
+  of every sparse graph in this package. Stored as CSR (compressed
+  sparse row): one flat int32 neighbor array plus int64 offsets and
+  degrees, built once at construction. Every bulk query — the
+  vectorized partner draw, the edge array, the regular-graph neighbor
+  matrix — is a view or a single gather into those arrays, so sparse
+  overlays run the paper-scale figures as fast as the complete graph.
 """
 
 from __future__ import annotations
@@ -76,19 +81,29 @@ class Topology(ABC):
         return j in self.neighbors(i)
 
     def random_neighbor_array(
-        self, nodes: np.ndarray, rng: np.random.Generator
+        self,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Vectorized :meth:`random_neighbor` for an array of node ids.
 
-        The default implementation loops; regular topologies override it
-        with a single vectorized draw. Used by the cycle-driven simulator
-        for paper-scale runs.
+        The default implementation loops; stored and complete topologies
+        override it with a single vectorized draw. Used by the gossip
+        kernel for paper-scale runs. ``out``, when given, must be a
+        ``len(nodes)``-shaped integer buffer the draw is written into
+        (the engine's :class:`~repro.kernel.engine.CyclePlan` passes a
+        reusable per-cycle buffer).
         """
-        return np.fromiter(
+        result = np.fromiter(
             (self.random_neighbor(int(v), rng) for v in nodes),
             dtype=np.int64,
             count=len(nodes),
         )
+        if out is None:
+            return result
+        out[:] = result
+        return out
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.n:
@@ -99,25 +114,56 @@ class Topology(ABC):
 
 
 class AdjacencyTopology(Topology):
-    """A topology backed by an explicit adjacency list.
+    """A topology backed by an explicit adjacency structure in CSR form.
 
-    ``adjacency`` maps each node id to a numpy array of neighbor ids.
-    The constructor validates symmetry and the absence of self-loops so
-    that generator bugs surface immediately instead of skewing results.
+    ``adjacency`` maps each node id to a sequence of neighbor ids. The
+    constructor normalizes it (sorted, deduplicated) into a flat int32
+    neighbor array plus int64 offsets/degrees, validating symmetry and
+    the absence of self-loops so that generator bugs surface immediately
+    instead of skewing results. The CSR arrays are immutable after
+    construction; every bulk accessor returns a view into them.
     """
 
     def __init__(self, adjacency: Sequence[Sequence[int]], *, validate: bool = True):
         super().__init__(len(adjacency))
-        self._adjacency: List[np.ndarray] = [
+        rows = [
             np.asarray(sorted(set(int(x) for x in row)), dtype=np.int64)
             for row in adjacency
         ]
+        degrees = np.fromiter(
+            (len(row) for row in rows), dtype=np.int64, count=self.n
+        )
+        flat = (
+            np.concatenate(rows)
+            if degrees.sum() > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        self._init_csr(flat, degrees, validate=validate)
+
+    def _init_csr(
+        self, flat: np.ndarray, degrees: np.ndarray, *, validate: bool
+    ) -> None:
+        """Finish construction from a flat int64 neighbor array (rows
+        concatenated in node order, each row sorted and deduplicated)
+        and the per-node degree array. Subclasses with vectorized edge
+        generators (:class:`~repro.topology.erdos_renyi
+        .ErdosRenyiTopology`) call this directly after
+        ``Topology.__init__`` and skip the per-row Python pass."""
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
         if validate:
-            self._validate()
-        self._edge_array = self._build_edge_array()
-        # built lazily on the first has_edge call; adjacency is
-        # immutable so the cache never invalidates
+            self._validate_csr(flat, degrees)
+        self._degrees = degrees
+        self._offsets = offsets
+        self._flat = flat.astype(np.int32)
+        # CSR is immutable; neighbors()/neighbor_matrix() hand out
+        # views, so freeze the backing array
+        self._flat.flags.writeable = False
+        self._edge_array = self._build_edge_array(flat, degrees)
+        # built lazily on the first has_edge / neighbor_matrix call;
+        # adjacency is immutable so the caches never invalidate
         self._neighbor_sets: Optional[List[set]] = None
+        self._neighbor_matrix: Optional[np.ndarray] = None
 
     @classmethod
     def from_edges(
@@ -134,43 +180,61 @@ class AdjacencyTopology(Topology):
             adjacency[j].add(i)
         return cls([sorted(s) for s in adjacency], validate=validate)
 
-    def _validate(self) -> None:
-        neighbor_sets = [set(row.tolist()) for row in self._adjacency]
-        for i, row in enumerate(self._adjacency):
-            for j in row.tolist():
-                if j == i:
-                    raise TopologyError(f"self-loop on node {i}")
-                if not 0 <= j < self.n:
-                    raise TopologyError(f"node {i} lists out-of-range neighbor {j}")
-                if i not in neighbor_sets[j]:
-                    raise TopologyError(
-                        f"asymmetric adjacency: {i} lists {j} but not vice versa"
-                    )
+    def _validate_csr(self, flat: np.ndarray, degrees: np.ndarray) -> None:
+        """Vectorized symmetry / self-loop / range validation: O(E log E)
+        in numpy instead of the former per-entry Python loop."""
+        if len(flat) == 0:
+            return
+        n = self.n
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        bad = (flat < 0) | (flat >= n)
+        if bad.any():
+            where = int(np.argmax(bad))
+            raise TopologyError(
+                f"node {int(src[where])} lists out-of-range neighbor "
+                f"{int(flat[where])}"
+            )
+        loops = src == flat
+        if loops.any():
+            raise TopologyError(
+                f"self-loop on node {int(src[int(np.argmax(loops))])}"
+            )
+        # i -> j exists without j -> i iff the directed edge key i*n+j
+        # has no counterpart among the reversed keys
+        missing = np.setdiff1d(src * n + flat, flat * n + src)
+        if len(missing):
+            i, j = divmod(int(missing[0]), n)
+            raise TopologyError(
+                f"asymmetric adjacency: {i} lists {j} but not vice versa"
+            )
 
-    def _build_edge_array(self) -> np.ndarray:
-        pairs = [(i, j) for i in range(self.n) for j in self._adjacency[i] if i < j]
-        if not pairs:
-            return np.empty((0, 2), dtype=np.int64)
-        return np.asarray(pairs, dtype=np.int64)
+    def _build_edge_array(
+        self, flat: np.ndarray, degrees: np.ndarray
+    ) -> np.ndarray:
+        src = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+        keep = src < flat
+        return np.column_stack((src[keep], flat[keep]))
 
     def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of ``node`` — a read-only view into the
+        CSR neighbor array (no per-call allocation)."""
         self._check_node(node)
-        return self._adjacency[node]
+        return self._flat[self._offsets[node]:self._offsets[node + 1]]
 
     def has_edge(self, i: int, j: int) -> bool:
         """O(1) membership test against cached adjacency sets (the
-        base-class fallback would allocate-and-scan O(deg) per call)."""
+        base-class fallback would scan O(deg) per call)."""
         self._check_node(i)
         self._check_node(j)
         if self._neighbor_sets is None:
             self._neighbor_sets = [
-                set(row.tolist()) for row in self._adjacency
+                set(self.neighbors(node).tolist()) for node in range(self.n)
             ]
         return j in self._neighbor_sets[i]
 
     def degree(self, node: int) -> int:
         self._check_node(node)
-        return len(self._adjacency[node])
+        return int(self._degrees[node])
 
     def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
         row = self.neighbors(node)
@@ -200,21 +264,42 @@ class AdjacencyTopology(Topology):
     def neighbor_matrix(self) -> np.ndarray:
         """``(n, k)`` neighbor matrix when the graph is regular.
 
-        Enables fully vectorized random-neighbor draws for the
-        paper-scale figures. Raises :class:`TopologyError` when degrees
-        differ.
+        A cached read-only reshape of the CSR neighbor array — building
+        it is free and calling it every cycle costs nothing (it used to
+        re-vstack the whole adjacency per call). Raises
+        :class:`TopologyError` when degrees differ.
         """
-        degrees = {len(row) for row in self._adjacency}
-        if len(degrees) != 1:
-            raise TopologyError("neighbor_matrix requires a regular graph")
-        return np.vstack(self._adjacency)
+        if self._neighbor_matrix is None:
+            k = int(self._degrees[0]) if self.n else 0
+            if not np.array_equal(
+                self._degrees, np.full(self.n, k, dtype=np.int64)
+            ):
+                raise TopologyError("neighbor_matrix requires a regular graph")
+            self._neighbor_matrix = self._flat.reshape(self.n, k)
+        return self._neighbor_matrix
 
     def random_neighbor_array(
-        self, nodes: np.ndarray, rng: np.random.Generator
+        self,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        try:
-            matrix = self.neighbor_matrix()
-        except TopologyError:
-            return super().random_neighbor_array(nodes, rng)
-        picks = rng.integers(0, matrix.shape[1], size=len(nodes))
-        return matrix[np.asarray(nodes, dtype=np.int64), picks]
+        """One vectorized CSR draw for *any* degree distribution:
+        ``flat[offsets[nodes] + floor(u * degrees[nodes])]``. Consumes
+        exactly one batched uniform draw regardless of regularity (the
+        former fast path was regular-only and fell back to a per-node
+        Python loop on irregular graphs)."""
+        nodes = np.asarray(nodes)
+        deg = self._degrees[nodes]
+        if len(deg) and int(deg.min()) == 0:
+            node = int(nodes[int(np.argmin(deg))])
+            raise TopologyError(f"node {node} has no neighbors")
+        picks = (rng.random(len(nodes)) * deg).astype(np.int64)
+        # u < 1 strictly, but the product can round up to deg for large
+        # degrees; clamp to keep the gather in-row
+        np.minimum(picks, deg - 1, out=picks)
+        picks += self._offsets[nodes]
+        if out is None:
+            return self._flat[picks].astype(np.int64)
+        np.take(self._flat, picks, out=out)
+        return out

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,8 +50,15 @@ class CompleteTopology(Topology):
         return i != j
 
     def random_neighbor_array(
-        self, nodes: np.ndarray, rng: np.random.Generator
+        self,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        nodes = np.asarray(nodes, dtype=np.int64)
+        nodes = np.asarray(nodes)
         draws = rng.integers(0, self.n - 1, size=len(nodes))
-        return draws + (draws >= nodes)
+        draws += draws >= nodes
+        if out is None:
+            return draws
+        out[:] = draws
+        return out

@@ -30,7 +30,13 @@ from repro.failures import (
 )
 from repro.failures.partition import PartitionSchedule
 from repro.kernel import ChurnSpec, EpochSpec, GossipEngine, Scenario
-from repro.topology import CompleteTopology, RandomRegularTopology, RingTopology
+from repro.topology import (
+    BarabasiAlbertTopology,
+    CompleteTopology,
+    ErdosRenyiTopology,
+    RandomRegularTopology,
+    RingTopology,
+)
 
 
 def both_backends(scenario_kwargs, cycles=12):
@@ -61,10 +67,15 @@ def assert_identical(ref, vec):
 
 
 def topologies():
+    # regular, irregular (ER) and heavy-tailed (scale-free) sparse
+    # overlays all ride the same CSR partner draw; the bitwise contract
+    # must hold on every one of them
     return [
         CompleteTopology(400),
         RandomRegularTopology(400, 8, seed=21),
         RingTopology(400),
+        ErdosRenyiTopology(400, 0.05, seed=22),
+        BarabasiAlbertTopology(400, 5, seed=23),
     ]
 
 

@@ -106,6 +106,62 @@ class TestFailureMachinery:
         assert result.exchange_counts[2] == topo.n
 
 
+class TestCyclePlan:
+    """The reusable per-cycle scratch: buffers stay put while capacity
+    is unchanged, and the cached initiator set invalidates on every
+    mask mutation."""
+
+    def test_buffers_reused_across_cycles(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=21))
+        engine.run_cycle()
+        plan = engine._plan
+        buffers = (plan.partners, plan.ok, plan.out_i, plan.out_j)
+        engine.run(5)
+        assert (plan.partners, plan.ok, plan.out_i, plan.out_j) == buffers
+
+    def test_initiator_cache_reused_while_masks_static(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=22))
+        engine.run_cycle()
+        cached = engine._plan._initiators
+        engine.run_cycle()
+        assert engine._plan._initiators is cached
+
+    def test_crash_invalidates_initiator_cache(self, topo, values):
+        """Semantic regression guard for the cache: a crash between
+        cycles must drop the victims from the initiator set (both
+        backends share the engine, so the cross-backend suite alone
+        cannot catch a stale cache)."""
+        engine = GossipEngine(Scenario(topo, values, seed=23))
+        engine.run_cycle()
+        before = engine.matrix
+        victims = list(range(0, 60))
+        engine.crash(victims)
+        result = engine.run(3)
+        # crashed rows are frozen: nobody initiates from or lands an
+        # exchange on a dead slot
+        assert np.array_equal(engine.matrix[victims], before[victims])
+        assert all(count <= topo.n - 60 for count in result.exchange_counts)
+
+    def test_capacity_growth_resizes_buffers(self):
+        from repro.failures import ConstantRateChurn
+
+        n = 64
+        engine = GossipEngine(
+            Scenario(
+                CompleteTopology(n),
+                np.random.default_rng(1).normal(0, 1, n),
+                churn=ConstantRateChurn(joins_per_cycle=30,
+                                        leaves_per_cycle=0),
+                seed=24,
+            )
+        )
+        engine.run(10)
+        assert engine.alive_count == n + 300
+        assert len(engine._plan.partners) >= engine.alive_count
+        # the last cycle's exchange arrays covered every participant
+        assert engine._plan.capacity == engine.capacity
+
+
 class TestRecordingModes:
     def test_record_end_keeps_endpoints_only(self, topo, values):
         engine = GossipEngine(Scenario(topo, values, seed=9))

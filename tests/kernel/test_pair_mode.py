@@ -278,6 +278,57 @@ class TestScenarioValidation:
         assert len(result.phi_counts) == 2
 
 
+class TestChunkTunable:
+    """The greedy-segmentation window is a pure performance knob: any
+    positive value must reproduce the reference trajectory bitwise."""
+
+    def run_vectorized(self, chunk, n=300, cycles=6):
+        values = np.random.default_rng(17).normal(0.0, 1.0, n)
+        scenario = Scenario(
+            CompleteTopology(n),
+            values,
+            pair_protocol=PairProtocolSpec(selector="rand", chunk=chunk),
+            seed=71,
+            backend="vectorized",
+        )
+        engine = GossipEngine(scenario)
+        engine.run(cycles)
+        return engine.matrix
+
+    def test_chunk_never_changes_results(self):
+        reference = self.run_vectorized(None)
+        for chunk in (1, 7, 64, 100_000):
+            assert np.array_equal(self.run_vectorized(chunk), reference)
+
+    @pytest.mark.parametrize("chunk", [0, -4, 1.5, "big", False])
+    def test_invalid_chunk_rejected(self, chunk):
+        with pytest.raises(ConfigurationError):
+            PairProtocolSpec(selector="seq", chunk=chunk)
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        from repro.kernel import PAIR_CHUNK, VectorizedBackend, resolve_chunk
+
+        monkeypatch.setenv("REPRO_PAIR_CHUNK", "512")
+        assert resolve_chunk() == 512
+        assert VectorizedBackend()._chunk == 512
+        monkeypatch.delenv("REPRO_PAIR_CHUNK")
+        assert resolve_chunk() == PAIR_CHUNK
+
+    def test_explicit_chunk_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAIR_CHUNK", "512")
+        from repro.kernel import resolve_chunk
+
+        assert resolve_chunk(64) == 64
+
+    @pytest.mark.parametrize("env", ["0", "-3", "many"])
+    def test_invalid_env_rejected(self, monkeypatch, env):
+        from repro.kernel import resolve_chunk
+
+        monkeypatch.setenv("REPRO_PAIR_CHUNK", env)
+        with pytest.raises(ConfigurationError):
+            resolve_chunk()
+
+
 class TestCustomSelectors:
     """User-defined PairSelector subclasses (the pre-kernel extension
     point: subclass, name, override cycle_pairs) still run through

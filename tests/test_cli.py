@@ -39,6 +39,20 @@ class TestExecution:
         assert "Figure 3(a)" in out
         assert "316" in out
 
+    def test_figure3a_sparse_overlay(self, capsys):
+        code = main([
+            "figure3a", "--runs", "2", "--n", "500",
+            "--topology", "regular20", "--backend", "vectorized",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rand/regular20" in out
+        assert "seq/regular20" in out
+
+    def test_figure3a_regular20_needs_enough_nodes(self):
+        with pytest.raises(SystemExit):
+            main(["figure3a", "--n", "10", "--topology", "regular20"])
+
     def test_figure4_output(self, capsys):
         code = main(["figure4", "--n", "300", "--cycles", "60", "--seed", "1"])
         assert code == 0

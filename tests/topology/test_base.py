@@ -122,9 +122,70 @@ class TestNeighborMatrix:
         with pytest.raises(TopologyError):
             topo.neighbor_matrix()
 
-    def test_irregular_random_neighbor_array_fallback(self, rng):
+    def test_matrix_cached_not_rebuilt(self):
+        """Regression: neighbor_matrix() used to recompute the degree
+        set and re-vstack the whole adjacency on every call — once per
+        cycle of a regular-overlay run. It must now be the same cached
+        CSR view on every call."""
+        topo = triangle()
+        first = topo.neighbor_matrix()
+        second = topo.neighbor_matrix()
+        assert first is second
+        # a view into the CSR flat array, not a fresh allocation
+        assert first.base is topo.neighbors(0).base
+
+    def test_matrix_read_only(self):
+        with pytest.raises(ValueError):
+            triangle().neighbor_matrix()[0, 0] = 9
+
+    def test_irregular_random_neighbor_array(self, rng):
         topo = AdjacencyTopology.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
         nodes = np.array([0, 1, 2, 3])
         partners = topo.random_neighbor_array(nodes, rng)
         for node, partner in zip(nodes, partners):
             assert topo.has_edge(int(node), int(partner))
+
+
+class TestCsrLayout:
+    def test_neighbors_is_csr_view(self):
+        """Per-node neighbor queries are views into one flat array, not
+        per-row allocations."""
+        topo = triangle()
+        assert topo.neighbors(0).base is topo.neighbors(2).base
+
+    def test_neighbors_read_only(self):
+        with pytest.raises(ValueError):
+            triangle().neighbors(0)[0] = 5
+
+    def test_zero_degree_node_draw_raises(self, rng):
+        topo = AdjacencyTopology([[1], [0], []])
+        with pytest.raises(TopologyError, match="node 2 has no neighbors"):
+            topo.random_neighbor_array(np.array([0, 2]), rng)
+
+    def test_draw_into_out_buffer(self, rng):
+        topo = AdjacencyTopology.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+        nodes = np.array([0, 1, 2, 3])
+        out = np.empty(4, dtype=np.int32)
+        result = topo.random_neighbor_array(nodes, rng, out=out)
+        assert result is out
+        for node, partner in zip(nodes, out):
+            assert topo.has_edge(int(node), int(partner))
+
+    def test_uniform_over_irregular_degrees(self):
+        """The CSR draw must be uniform per node even when degrees
+        differ: every neighbor of a degree-d node appears with
+        frequency ~1/d."""
+        topo = AdjacencyTopology.from_edges(
+            5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]
+        )
+        rng = np.random.default_rng(99)
+        draws = 12000
+        for node in (0, 1):
+            partners = topo.random_neighbor_array(
+                np.full(draws, node), rng
+            )
+            counts = np.bincount(partners, minlength=5)
+            neighbors = topo.neighbors(node)
+            assert set(np.nonzero(counts)[0]) == set(neighbors.tolist())
+            expected = draws / len(neighbors)
+            assert np.all(np.abs(counts[neighbors] - expected) < 0.15 * expected)

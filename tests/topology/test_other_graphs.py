@@ -134,6 +134,52 @@ class TestBarabasiAlbert:
             BarabasiAlbertTopology(3, 3)
 
 
+class TestSparseRandomNeighborDraws:
+    """Bounds + uniformity of the vectorized CSR partner draw on
+    irregular overlays — the draw the kernel engine uses for every
+    sparse-topology cycle."""
+
+    def bounds(self, topo, rng, draws=4):
+        nodes = np.arange(topo.n)
+        for _ in range(draws):
+            partners = topo.random_neighbor_array(nodes, rng)
+            for node, partner in zip(nodes.tolist(), partners.tolist()):
+                assert topo.has_edge(node, partner)
+                assert partner != node
+
+    def test_erdos_renyi_bounds(self, rng):
+        topo = ErdosRenyiTopology(150, 0.15, seed=8)
+        self.bounds(topo, rng)
+
+    def test_scale_free_bounds(self, rng):
+        topo = BarabasiAlbertTopology(150, 3, seed=9)
+        self.bounds(topo, rng)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: ErdosRenyiTopology(60, 0.2, seed=10),
+        lambda: BarabasiAlbertTopology(60, 3, seed=11),
+    ], ids=["erdos-renyi", "scale-free"])
+    def test_per_node_uniformity(self, factory):
+        """Each node's draw is uniform over its own neighbor list,
+        whatever its degree — including the hubs of a scale-free
+        graph."""
+        topo = factory()
+        rng = np.random.default_rng(42)
+        degrees = np.array([topo.degree(v) for v in range(topo.n)])
+        hub = int(np.argmax(degrees))
+        lightest = int(np.argmin(degrees))
+        draws = 8000
+        for node in (hub, lightest):
+            partners = topo.random_neighbor_array(np.full(draws, node), rng)
+            counts = np.bincount(partners, minlength=topo.n)
+            neighbors = topo.neighbors(node)
+            assert set(np.nonzero(counts)[0]) == set(neighbors.tolist())
+            expected = draws / len(neighbors)
+            assert np.all(
+                np.abs(counts[neighbors] - expected) < 0.25 * expected
+            )
+
+
 class TestStar:
     def test_structure(self):
         topo = StarTopology(5)
