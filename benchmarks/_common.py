@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -95,6 +96,34 @@ def emit(name: str, text: str, capsys) -> None:
         print(text)
 
 
+def peak_rss_bytes() -> dict:
+    """Peak resident-set sizes of this process and its (reaped)
+    children, in bytes — the sharded backend's workers land in the
+    children number. Empty where :mod:`resource` is unavailable.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so archives
+    are only attributable to one workload when each benchmark runs in
+    its own process (how CI and the nightly invoke them); a combined
+    pytest session stamps every archive with the session's peak so
+    far. Rows remain comparable across runs of the same entrypoint
+    either way.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return {}
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    unit = 1 if sys.platform == "darwin" else 1024
+    return {
+        "peak_rss_bytes": resource.getrusage(
+            resource.RUSAGE_SELF
+        ).ru_maxrss * unit,
+        "peak_rss_children_bytes": resource.getrusage(
+            resource.RUSAGE_CHILDREN
+        ).ru_maxrss * unit,
+    }
+
+
 def emit_json(name: str, payload: dict, *, archive: bool = True) -> Path:
     """Write a machine-readable benchmark result as ``BENCH_<name>.json``.
 
@@ -103,9 +132,12 @@ def emit_json(name: str, payload: dict, *, archive: bool = True) -> Path:
     written to the repository root — the git-tracked copy documenting
     the acceptance-scale numbers. Callers pass ``archive=False`` for
     smoke/reduced workloads so a quick local run never clobbers the
-    committed paper-scale archive. Returns the ``benchmarks/out/``
-    path."""
+    committed paper-scale archive. Every archive also carries the
+    run's peak-RSS numbers (see :func:`peak_rss_bytes`) so memory
+    trends accumulate in ``bench_history.py`` alongside the timings.
+    Returns the ``benchmarks/out/`` path."""
     OUT_DIR.mkdir(exist_ok=True)
+    payload = {**peak_rss_bytes(), **payload}
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     path = OUT_DIR / f"BENCH_{name}.json"
     path.write_text(text)

@@ -30,7 +30,8 @@ from pathlib import Path
 
 #: keys copied verbatim from each BENCH_*.json into the history row —
 #: workload parameters (to spot incomparable runs) plus every timing
-SUMMARY_KEYS = ("n", "cycles", "aggregates", "cycles_per_epoch", "backend")
+SUMMARY_KEYS = ("n", "cycles", "aggregates", "cycles_per_epoch", "backend",
+                "worker_sweep", "cpu_count")
 
 
 def is_timing_key(key: str) -> bool:
@@ -39,12 +40,19 @@ def is_timing_key(key: str) -> bool:
     return key == "seconds" or key.endswith("_seconds") or key == "speedup"
 
 
+def is_memory_key(key: str) -> bool:
+    """Whether a JSON key holds a memory measurement (the peak-RSS
+    numbers ``_common.emit_json`` stamps on every archive) — kept in
+    the history row so memory trends are plottable alongside timings."""
+    return key.startswith("peak_rss") and key.endswith("_bytes")
+
+
 def summarize(payload: dict) -> dict:
     """The history-worthy subset of one benchmark archive."""
     return {
         key: payload[key]
         for key in payload
-        if key in SUMMARY_KEYS or is_timing_key(key)
+        if key in SUMMARY_KEYS or is_timing_key(key) or is_memory_key(key)
     }
 
 

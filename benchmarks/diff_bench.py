@@ -34,8 +34,11 @@ import json
 import sys
 from pathlib import Path
 
-#: keys that must match for two runs to be comparable
-PARAM_KEYS = ("n", "cycles", "aggregates", "cycles_per_epoch", "backend")
+#: keys that must match for two runs to be comparable — cpu_count
+#: guards the sharded sweep, whose timings shift with the runner's
+#: core count even on identical code
+PARAM_KEYS = ("n", "cycles", "aggregates", "cycles_per_epoch", "backend",
+              "worker_sweep", "cpu_count")
 
 
 def is_timing_key(key: str) -> bool:

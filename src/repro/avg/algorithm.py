@@ -183,8 +183,8 @@ class AvgAlgorithm:
             seed=seed,
             backend=self._backend,
         )
-        engine = GossipEngine(scenario)
-        kernel_result = engine.run(cycles)
+        with GossipEngine(scenario) as engine:
+            kernel_result = engine.run(cycles)
         variances = kernel_result.variance_array("avg")
         result = RunResult(
             initial_variance=float(variances[0]),

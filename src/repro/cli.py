@@ -8,11 +8,17 @@ Usage::
                                           # Figure 3 point at paper scale
     python -m repro figure3a --n 100000 --topology regular20 --backend vectorized
                                           # sparse-overlay series, paper scale
+    python -m repro figure3a --n 1000000 --backend sharded --workers 4
+                                          # million-node Figure 3 point
     python -m repro figure4 --cycles 300  # Figure 4, scaled down
     python -m repro figure4 --n 100000 --backend vectorized
                                           # Figure 4 at paper scale
+    python -m repro figure4 --n 1000000 --backend sharded --cycles 60
+                                          # million-node Figure 4
     python -m repro monitor --n 2000      # AggregationService demo
     python -m repro scale --n 100000      # kernel backend comparison
+    python -m repro scale --n 1000000 --backend vectorized,sharded:4
+                                          # single- vs multi-process at 1M
 
 Each subcommand prints the same rows the corresponding benchmark
 archives, with small default sizes so it completes in seconds.
@@ -39,8 +45,9 @@ from .avg import (
 )
 from .core import SizeEstimationConfig, SizeEstimationExperiment
 from .core.service import AggregationService
+from .errors import BackendSpecError
 from .failures import OscillatingChurn
-from .kernel import BACKEND_NAMES, GossipEngine, Scenario
+from .kernel import GossipEngine, Scenario, parse_backend_spec
 from .rng import make_rng
 from .topology import CompleteTopology, RandomRegularTopology
 
@@ -50,6 +57,69 @@ _SELECTORS = {
     "seq": GetPairSeq,
     "pmrand": GetPairPMRand,
 }
+
+#: ``scale --backend`` aliases expanding to comparison lists
+_SCALE_ALIASES = {
+    "both": ("reference", "vectorized"),
+    "all": ("reference", "vectorized", "sharded"),
+}
+
+
+def _backend_arg(value: str) -> str:
+    """argparse type for ``--backend``: any valid backend spec,
+    including ``sharded:<workers>`` (replaces the old closed choices
+    list). Unknown or malformed specs surface the full list of valid
+    forms instead of a bare failure."""
+    try:
+        parse_backend_spec(value, allow_auto=True)
+    except BackendSpecError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return value
+
+
+def _scale_backend_arg(value: str) -> str:
+    """``scale --backend``: an alias (``both``/``all``) or a
+    comma-separated list of backend specs."""
+    if value in _SCALE_ALIASES:
+        return value
+    for spec in value.split(","):
+        _backend_arg(spec)
+    return value
+
+
+def _add_backend_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--backend", type=_backend_arg, default="auto", metavar="SPEC",
+        help="kernel execution backend: auto, reference, vectorized, "
+             "sharded or sharded:<workers>",
+    )
+    command.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="worker count for --backend sharded (shorthand for "
+             "--backend sharded:<W>)",
+    )
+
+
+def _resolve_backend(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> None:
+    """Fold ``--workers`` into the backend spec in ``args.backend``."""
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return
+    backend = args.backend
+    if backend in _SCALE_ALIASES or "," in backend:
+        parser.error("--workers applies to a single sharded backend, "
+                     "not a comparison list; use sharded:<W> instead")
+    base, spec_workers = parse_backend_spec(backend, allow_auto=True)
+    if base != "sharded":
+        parser.error(f"--workers requires --backend sharded "
+                     f"(got --backend {backend})")
+    if spec_workers is not None:
+        parser.error("pass either --backend sharded:<W> or --workers W, "
+                     "not both")
+    if workers < 1:
+        parser.error(f"--workers must be a positive integer, got {workers}")
+    args.backend = f"sharded:{workers}"
 
 
 def _cmd_rates(args: argparse.Namespace) -> int:
@@ -144,9 +214,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     """Run one kernel scenario per requested backend and compare."""
     values = make_rng(args.seed).normal(10.0, 4.0, args.n)
     topology = CompleteTopology(args.n)
-    backends = (
-        ["reference", "vectorized"] if args.backend == "both" else [args.backend]
-    )
+    backends = _SCALE_ALIASES.get(args.backend, tuple(args.backend.split(",")))
     table = Table(
         headers=["backend", "cycles", "seconds", "final variance"],
         title=f"Gossip kernel backends, N={args.n} (same seed, same draws)",
@@ -160,12 +228,12 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=backend,
         )
-        engine = GossipEngine(scenario)
-        start = time.perf_counter()
-        result = engine.run(record="end")
-        elapsed = time.perf_counter() - start
+        with GossipEngine(scenario) as engine:
+            start = time.perf_counter()
+            result = engine.run(record="end")
+            elapsed = time.perf_counter() - start
         table.add_row(
-            engine.backend_name,
+            engine.backend_name if backend == "auto" else backend,
             args.cycles,
             elapsed,
             result.variance_array()[-1],
@@ -207,10 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     rates.add_argument("--n", type=int, default=1000)
     rates.add_argument("--runs", type=int, default=5)
     rates.add_argument("--cycles", type=int, default=12)
-    rates.add_argument(
-        "--backend", choices=list(BACKEND_NAMES), default="auto",
-        help="kernel execution backend",
-    )
+    _add_backend_options(rates)
     rates.set_defaults(func=_cmd_rates)
 
     f3a = sub.add_parser("figure3a", help="Figure 3(a) series")
@@ -219,10 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--n", type=int, default=None,
         help="single network size (default: the 100..3162 series)",
     )
-    f3a.add_argument(
-        "--backend", choices=list(BACKEND_NAMES), default="auto",
-        help="kernel execution backend",
-    )
+    _add_backend_options(f3a)
     f3a.add_argument(
         "--topology", choices=["complete", "regular20"], default="complete",
         help="overlay for the series: the complete graph or the paper's "
@@ -236,20 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
     f4.add_argument("--epoch", type=int, default=30,
                     help="cycles per epoch")
     f4.add_argument("--seed", type=int, default=4)
-    f4.add_argument(
-        "--backend", choices=list(BACKEND_NAMES), default="auto",
-        help="kernel execution backend",
-    )
+    _add_backend_options(f4)
     f4.set_defaults(func=_cmd_figure4)
 
     monitor = sub.add_parser("monitor", help="AggregationService demo")
     monitor.add_argument("--n", type=int, default=1000)
     monitor.add_argument("--cycles", type=int, default=30)
     monitor.add_argument("--seed", type=int, default=9)
-    monitor.add_argument(
-        "--backend", choices=list(BACKEND_NAMES), default="auto",
-        help="kernel execution backend",
-    )
+    _add_backend_options(monitor)
     monitor.set_defaults(func=_cmd_monitor)
 
     scale_cmd = sub.add_parser(
@@ -260,8 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
     scale_cmd.add_argument("--loss", type=float, default=0.0)
     scale_cmd.add_argument("--seed", type=int, default=11)
     scale_cmd.add_argument(
-        "--backend", choices=list(BACKEND_NAMES) + ["both"], default="both",
-        help="backend to run, or 'both' to compare",
+        "--backend", type=_scale_backend_arg, default="both", metavar="SPEC",
+        help="backend spec, a comma-separated comparison list "
+             "(e.g. vectorized,sharded:4), 'both' (reference+vectorized) "
+             "or 'all' (adds sharded)",
+    )
+    scale_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="worker count for --backend sharded",
     )
     scale_cmd.set_defaults(func=_cmd_scale)
     return parser
@@ -271,6 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _resolve_backend(parser, args)
     return args.func(args)
 
 

@@ -191,14 +191,13 @@ class AggregationService:
             backend=self._backend,
             cycles=cycles,
         )
-        engine = GossipEngine(scenario)
-        engine.run(cycles, record="end")
-
-        probe = {
-            name: float(engine.column(name)[probe_node])
-            for name in scenario.instance_names
-        }
-        return _assemble_report(probe, engine.variance("mean"), cycles)
+        with GossipEngine(scenario) as engine:
+            engine.run(cycles, record="end")
+            probe = {
+                name: float(engine.column(name)[probe_node])
+                for name in scenario.instance_names
+            }
+            return _assemble_report(probe, engine.variance("mean"), cycles)
 
     def run_epochs(
         self,
@@ -286,5 +285,5 @@ class AggregationService:
             seed=self._seed,
             backend=self._backend,
         )
-        engine = GossipEngine(scenario)
-        return engine.run(epochs * cycles_per_epoch).epoch_results
+        with GossipEngine(scenario) as engine:
+            return engine.run(epochs * cycles_per_epoch).epoch_results

@@ -240,7 +240,14 @@ class SizeEstimationExperiment:
         self.size_trace = []
         self._instances = 0
         self._engine = GossipEngine(self.scenario())
-        result = self._engine.run(self.config.cycles)
+        try:
+            result = self._engine.run(self.config.cycles)
+        finally:
+            # the run is terminal for this engine: release the backend
+            # (a sharded pool and its shared segment) deterministically.
+            # Post-run observers (current_size, epoch, backend_name)
+            # keep working — they read engine state, not the backend.
+            self._engine.close()
         # alive_counts[0] is the pre-run size; the trace matches the
         # historical one-entry-per-cycle shape
         self.size_trace = result.alive_counts[1:]

@@ -17,6 +17,26 @@ class ConfigurationError(ReproError):
     """A component was configured with invalid or inconsistent parameters."""
 
 
+class BackendSpecError(ConfigurationError):
+    """An execution-backend spec could not be parsed or resolved.
+
+    Raised for unknown backend names and malformed parameterized specs
+    (e.g. ``"sharded:zero"``). Carries the offending ``spec`` and the
+    tuple of ``valid_backends`` so user-facing layers can print the
+    complete set of accepted forms.
+    """
+
+    def __init__(self, spec, *, valid=(), reason=None):
+        self.spec = spec
+        self.valid_backends = tuple(valid)
+        detail = f" ({reason})" if reason else ""
+        options = ", ".join(repr(form) for form in self.valid_backends)
+        super().__init__(
+            f"invalid execution backend {spec!r}{detail}; "
+            f"valid backends: {options}"
+        )
+
+
 class TopologyError(ReproError):
     """An overlay topology is malformed or cannot be constructed.
 

@@ -8,7 +8,10 @@ aggregate instances, failure model, seed) executed by one
 * ``"reference"`` — sequential Python loops, the semantic oracle;
 * ``"vectorized"`` — numpy structure-of-arrays batched execution that
   reproduces the reference trajectories bitwise while scaling to the
-  paper's N = 100 000 overlays and beyond.
+  paper's N = 100 000 overlays and beyond;
+* ``"sharded"`` / ``"sharded:<workers>"`` — multi-process execution
+  over a :mod:`multiprocessing.shared_memory` value matrix, for
+  million-node figures; bitwise-equal to the other two.
 
 Both the cycle-driven simulator (:class:`repro.simulator.CycleSimulator`)
 and the aggregation facade (:class:`repro.core.AggregationService`) are
@@ -17,7 +20,6 @@ thin shells over this layer.
 
 from .scenario import (
     AUTO_VECTORIZE_THRESHOLD,
-    BACKEND_NAMES,
     Scenario,
 )
 from .lifecycle import (
@@ -32,17 +34,23 @@ from .pairs import (
     TheoremSAggregate,
 )
 from .backends import (
+    BACKEND_FORMS,
+    BACKEND_NAMES,
     PAIR_CHUNK,
+    SHARD_CHUNK,
     ExecutionBackend,
     ReferenceBackend,
+    ShardedBackend,
     VectorizedBackend,
     make_backend,
+    parse_backend_spec,
     resolve_chunk,
 )
 from .engine import CyclePlan, GossipEngine, KernelRunResult, run_scenario
 
 __all__ = [
     "AUTO_VECTORIZE_THRESHOLD",
+    "BACKEND_FORMS",
     "BACKEND_NAMES",
     "Scenario",
     "ChurnSpec",
@@ -53,10 +61,13 @@ __all__ = [
     "PairProtocolSpec",
     "TheoremSAggregate",
     "PAIR_CHUNK",
+    "SHARD_CHUNK",
     "ExecutionBackend",
     "ReferenceBackend",
+    "ShardedBackend",
     "VectorizedBackend",
     "make_backend",
+    "parse_backend_spec",
     "resolve_chunk",
     "CyclePlan",
     "GossipEngine",

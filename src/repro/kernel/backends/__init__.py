@@ -1,0 +1,56 @@
+"""Pluggable execution backends for the gossip kernel.
+
+Three implementations behind one contract (see :mod:`.base`):
+
+* :class:`ReferenceBackend` — the semantic oracle: a plain sequential
+  Python loop in exchange order.
+* :class:`VectorizedBackend` — the single-process scale path: numpy
+  structure-of-arrays conflict-free batches.
+* :class:`ShardedBackend` — the multi-process scale path: the value
+  matrix in :mod:`multiprocessing.shared_memory`, a persistent worker
+  pool applying parent-scheduled batch slices.
+
+All three are **bitwise identical** on the same engine inputs; the
+cross-backend equivalence suites assert it. Specs (``"sharded:4"``)
+are parsed by :func:`parse_backend_spec` / built by
+:func:`make_backend` in :mod:`.registry`.
+"""
+
+from .base import (
+    GREEDY_TAIL,
+    PAIR_CHUNK,
+    ExecutionBackend,
+    apply_disjoint_batch,
+    apply_sequential,
+    first_occurrence_ready,
+    resolve_chunk,
+)
+from .reference import ReferenceBackend
+from .registry import (
+    BACKEND_FORMS,
+    BACKEND_NAMES,
+    make_backend,
+    parse_backend_spec,
+)
+from .sharded import SHARD_CHUNK, SHARD_TAIL, ShardedBackend, default_workers
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "BACKEND_FORMS",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "GREEDY_TAIL",
+    "PAIR_CHUNK",
+    "ReferenceBackend",
+    "SHARD_CHUNK",
+    "SHARD_TAIL",
+    "ShardedBackend",
+    "VectorizedBackend",
+    "apply_disjoint_batch",
+    "apply_sequential",
+    "default_workers",
+    "first_occurrence_ready",
+    "make_backend",
+    "parse_backend_spec",
+    "resolve_chunk",
+]

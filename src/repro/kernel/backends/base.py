@@ -1,0 +1,266 @@
+"""Backend contract and the shared batched-execution primitives.
+
+A backend's job is small and precisely bounded: given the kernel's
+``(n, k)`` value matrix (one column per aggregation instance) and one
+cycle's worth of *successful* exchanges — endpoint index arrays, in
+step order — apply every exchange's AGGREGATE to both endpoints.
+Everything stochastic (neighbor draws, loss coins, crash schedules,
+pair-mode GETPAIR sequences) already happened in the engine, so
+backends are deterministic functions of their inputs and can be
+swapped freely.
+
+Beyond the abstract contract this module hosts the primitives every
+batched backend builds on:
+
+* :func:`first_occurrence_ready` — the O(m) conflict scan: which of the
+  pending steps touch only nodes not seen earlier in the window (and so
+  commute bitwise with each other),
+* :func:`apply_disjoint_batch` — one node-disjoint batch applied through
+  the ``combine_array`` IEEE path,
+* :func:`apply_sequential` — a short run of (possibly conflicting)
+  steps applied in step order through the scalar ``combine`` path.
+
+``combine_array`` is IEEE-identical to the scalar ``combine`` (the
+:class:`~repro.core.aggregates.AggregateFunction` contract), so any
+mix of the two appliers over an order-preserving segmentation is
+**bitwise identical** to the sequential reference execution.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.aggregates import AggregateFunction
+from ...errors import ConfigurationError
+
+#: default number of contiguous steps per greedy-segmentation window in
+#: the vectorized backend. Executing each window to completion before
+#: the next trivially preserves global step order, and within a few
+#: thousand steps node collisions are rare (1–3 batches instead of
+#: ~max φ), so the first-occurrence scans touch far fewer elements and
+#: stay cache-resident. Tunable per machine via the ``REPRO_PAIR_CHUNK``
+#: environment variable or per run via
+#: :attr:`~repro.kernel.pairs.PairProtocolSpec.chunk`.
+PAIR_CHUNK = 4096
+
+#: once a greedy window has this few pending steps left, finish it
+#: sequentially: batch sizes decay geometrically, so the tail of the
+#: peel loop pays a full first-occurrence scan (a dozen numpy calls)
+#: per handful of steps. Purely a constant-factor knob — results stay
+#: bitwise-identical.
+GREEDY_TAIL = 48
+
+
+def resolve_chunk(
+    chunk: Optional[int] = None,
+    *,
+    env_var: str = "REPRO_PAIR_CHUNK",
+    default: int = PAIR_CHUNK,
+) -> int:
+    """The effective greedy-segmentation window size.
+
+    Precedence: an explicit ``chunk`` (e.g. from
+    :attr:`PairProtocolSpec.chunk`), then the ``env_var`` environment
+    variable, then ``default``. The sharded backend resolves its own,
+    larger window through the same rules (``REPRO_SHARD_CHUNK``).
+    Raises :class:`ConfigurationError` on non-positive or non-integer
+    values.
+    """
+    if chunk is None:
+        env = os.environ.get(env_var, "").strip()
+        if not env:
+            return default
+        try:
+            chunk = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{env_var} must be a positive integer, got {env!r}"
+            ) from None
+    if isinstance(chunk, bool) or not isinstance(chunk, (int, np.integer)):
+        raise ConfigurationError(
+            f"pair chunk must be a positive integer, got {chunk!r}"
+        )
+    if chunk < 1:
+        raise ConfigurationError(
+            f"pair chunk must be a positive integer, got {chunk}"
+        )
+    return int(chunk)
+
+
+def first_occurrence_ready(
+    chunk_i: np.ndarray,
+    chunk_j: np.ndarray,
+    position: np.ndarray,
+    flat_buffer: np.ndarray,
+    slot_numbers: np.ndarray,
+) -> np.ndarray:
+    """Which pending steps are first occurrences of *both* endpoints.
+
+    The test is O(m) with no sorting: a scatter of slot numbers into an
+    ``n``-sized ``position`` scratch (last write wins, so writing the
+    interleaved endpoints in reverse leaves the *first* occurrence)
+    followed by one gather. ``flat_buffer`` and ``slot_numbers`` are
+    caller-owned reusable arrays of at least ``2 * len(chunk_i)``
+    entries; ``slot_numbers`` must hold ``0, 1, 2, …`` (an arange).
+    """
+    m = len(chunk_i)
+    flat = flat_buffer[:2 * m]
+    flat[0::2] = chunk_i
+    flat[1::2] = chunk_j
+    slots = slot_numbers[:2 * m]
+    position[flat[::-1]] = slots[::-1]
+    first = position[flat] == slots
+    return first[0::2] & first[1::2]
+
+
+def apply_disjoint_batch(
+    matrix: np.ndarray,
+    functions: Sequence[AggregateFunction],
+    batch_i: np.ndarray,
+    batch_j: np.ndarray,
+) -> None:
+    """Apply one node-disjoint batch of exchanges via ``combine_array``."""
+    if len(batch_i) == 0:
+        return
+    if matrix.shape[1] == 1:
+        column = matrix[:, 0]
+        combined = functions[0].combine_array(
+            column[batch_i], column[batch_j]
+        )
+        column[batch_i] = combined
+        column[batch_j] = combined
+        return
+    rows_i = matrix[batch_i]
+    rows_j = matrix[batch_j]
+    combined_rows = np.empty_like(rows_i)
+    for c, function in enumerate(functions):
+        combined_rows[:, c] = function.combine_array(
+            rows_i[:, c], rows_j[:, c]
+        )
+    matrix[batch_i] = combined_rows
+    matrix[batch_j] = combined_rows
+
+
+def apply_sequential(
+    matrix: np.ndarray,
+    functions: Sequence[AggregateFunction],
+    steps_i: np.ndarray,
+    steps_j: np.ndarray,
+) -> None:
+    """Apply steps one at a time, in step order, via scalar ``combine``.
+
+    Used for the conflicted tail of a greedy window; switching to the
+    scalar path mid-window keeps the result bitwise-equal to the
+    batched execution (the combine/combine_array IEEE contract).
+    """
+    if len(steps_i) == 0:
+        return
+    steps = zip(steps_i.tolist(), steps_j.tolist())
+    if matrix.shape[1] == 1:
+        column = matrix[:, 0]
+        combine = functions[0].combine
+        for i, j in steps:
+            combined = combine(column[i], column[j])
+            column[i] = combined
+            column[j] = combined
+        return
+    for i, j in steps:
+        for c, function in enumerate(functions):
+            combined = function.combine(matrix[i, c], matrix[j, c])
+            matrix[i, c] = combined
+            matrix[j, c] = combined
+
+
+class ExecutionBackend(ABC):
+    """Applies one cycle's successful exchanges to the value matrix."""
+
+    #: identifier used in Scenario.backend and reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def apply_exchanges(
+        self,
+        matrix: np.ndarray,
+        functions: Sequence[AggregateFunction],
+        exch_i: np.ndarray,
+        exch_j: np.ndarray,
+        *,
+        cycle: int = 0,
+        trace=None,
+    ) -> None:
+        """Apply exchanges ``(exch_i[t], exch_j[t])`` for t = 0..m-1, in
+        order, to ``matrix`` in place.
+
+        ``matrix`` is the ``(n, k)`` structure-of-arrays node state;
+        ``functions`` holds the per-column AGGREGATE. ``trace`` is an
+        optional :class:`~repro.simulator.trace.ExchangeTrace` (only the
+        reference backend supports it, and only for k = 1).
+        """
+
+    def apply_pairs(
+        self,
+        matrix: np.ndarray,
+        functions: Sequence[AggregateFunction],
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+        *,
+        plan: Optional[Tuple[Tuple[int, int, bool], ...]] = None,
+        chunk: Optional[int] = None,
+        cycle: int = 0,
+        trace=None,
+    ) -> None:
+        """Apply one pair-mode cycle's elementary steps, in step order.
+
+        Semantically identical to :meth:`apply_exchanges`; ``plan`` is
+        an optional tuple of ``(start, end, conflict_free)`` segments
+        covering the sequence, marking stretches that are node-disjoint
+        *by construction* (PM's matching halves). Sequential backends
+        may ignore it; batched backends apply a conflict-free segment
+        as a single batch with no segmentation scan. ``chunk``
+        optionally overrides the greedy-segmentation window size
+        (:func:`resolve_chunk`); it never changes results, only batch
+        shapes.
+        """
+        self.apply_exchanges(
+            matrix, functions, pairs_i, pairs_j, cycle=cycle, trace=trace
+        )
+
+    def adopt_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Engine hand-off hook: take ownership of storing ``matrix``.
+
+        The engine calls this once at construction and again whenever it
+        reallocates the value matrix (capacity growth under churn, an
+        epoch restart that changes the instance count), then uses the
+        returned array as its matrix from that point on. In-process
+        backends return the array unchanged; the sharded backend copies
+        it into a :mod:`multiprocessing.shared_memory` segment and
+        returns the shared view so every subsequent engine mutation —
+        epoch reseeds, joiner admissions, crash recycling — is visible
+        to the worker processes with no per-cycle copying.
+        """
+        return matrix
+
+    def release_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Counterpart of :meth:`adopt_matrix` at shutdown: return a
+        matrix that stays valid after :meth:`close`.
+
+        In-process backends return the array unchanged. The sharded
+        backend returns a private heap copy of its shared view —
+        numpy's ``buffer=`` interface does not hold a buffer export,
+        so closing the shared segment unmaps it out from under any
+        remaining views; the engine swaps in the copy before closing
+        so post-close observers (``matrix``, ``variance``, …) keep
+        working.
+        """
+        return matrix
+
+    def close(self) -> None:
+        """Release backend-owned resources (worker pools, shared
+        memory). In-process backends hold none; idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,93 @@
+"""Backend name resolution: specs, validation, instantiation.
+
+A backend *spec* is the string a :class:`~repro.kernel.scenario.Scenario`
+(or ``--backend`` on the CLI) carries:
+
+* ``"auto"`` — pick by network size (resolved by
+  :meth:`Scenario.resolve_backend`, never by :func:`make_backend`);
+* ``"reference"`` — the sequential semantic oracle;
+* ``"vectorized"`` — single-process numpy batched execution;
+* ``"sharded"`` — multi-process shared-memory execution with the
+  default worker count (one per core, capped at 8);
+* ``"sharded:<workers>"`` — same with an explicit worker count.
+
+Malformed or unknown specs raise :class:`~repro.errors.BackendSpecError`
+carrying the list of valid forms, so callers (the CLI in particular)
+can surface a complete message instead of a bare failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...errors import BackendSpecError
+from .base import ExecutionBackend
+from .reference import ReferenceBackend
+from .sharded import ShardedBackend
+from .vectorized import VectorizedBackend
+
+#: backend base names accepted by :attr:`Scenario.backend`
+BACKEND_NAMES = ("auto", "reference", "vectorized", "sharded")
+
+#: every accepted spelling, for error messages
+BACKEND_FORMS = ("auto", "reference", "vectorized", "sharded",
+                 "sharded:<workers>")
+
+
+def parse_backend_spec(
+    spec: str, *, allow_auto: bool = False
+) -> Tuple[str, Optional[int]]:
+    """Parse and validate a backend spec into ``(base, workers)``.
+
+    ``workers`` is ``None`` except for an explicit ``sharded:<k>``.
+    Raises :class:`BackendSpecError` on anything else; ``allow_auto``
+    admits the ``"auto"`` placeholder (valid on a scenario, not for
+    direct instantiation).
+    """
+    if not isinstance(spec, str):
+        raise BackendSpecError(spec, valid=BACKEND_FORMS,
+                               reason="spec must be a string")
+    base, colon, argument = spec.partition(":")
+    if base == "sharded":
+        if not colon:
+            return "sharded", None
+        try:
+            workers = int(argument)
+        except ValueError:
+            raise BackendSpecError(
+                spec, valid=BACKEND_FORMS,
+                reason=f"worker count {argument!r} is not an integer",
+            ) from None
+        if workers < 1:
+            raise BackendSpecError(
+                spec, valid=BACKEND_FORMS,
+                reason=f"worker count must be >= 1, got {workers}",
+            )
+        return "sharded", workers
+    if colon:
+        raise BackendSpecError(
+            spec, valid=BACKEND_FORMS,
+            reason=f"backend {base!r} takes no ':<workers>' argument",
+        )
+    if base == "auto":
+        if allow_auto:
+            return "auto", None
+        raise BackendSpecError(
+            spec, valid=BACKEND_FORMS[1:],
+            reason="'auto' must be resolved via Scenario.resolve_backend "
+                   "before instantiation",
+        )
+    if base in ("reference", "vectorized"):
+        return base, None
+    raise BackendSpecError(spec, valid=BACKEND_FORMS)
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    """Instantiate a backend by concrete spec (not ``"auto"``; resolve
+    that via :meth:`Scenario.resolve_backend` first)."""
+    base, workers = parse_backend_spec(name)
+    if base == "reference":
+        return ReferenceBackend()
+    if base == "vectorized":
+        return VectorizedBackend()
+    return ShardedBackend(workers=workers)

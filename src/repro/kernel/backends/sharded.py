@@ -1,0 +1,684 @@
+"""The multi-process scale path: shared-memory sharded execution.
+
+At N = 10⁶ a cycle is a long sequence of gather/combine/scatter passes
+over an ~8 MB-per-column value matrix with random int32 indices —
+memory-bound work that one core's load/store ports serialize.
+:class:`ShardedBackend` splits that work across a persistent pool of
+worker processes:
+
+* **Storage.** The value matrix lives in one
+  :mod:`multiprocessing.shared_memory` segment (plus two int32 step
+  buffers carved from the same segment). The engine hands its matrix
+  over through :meth:`~.base.ExecutionBackend.adopt_matrix` and works
+  on the shared view from then on, so churn admissions, epoch reseeds
+  and crash recycling are ordinary in-place writes that every worker
+  sees — zero per-cycle copying. Capacity growth re-adopts (the engine
+  already grows geometrically, so remaps are O(log) per run).
+
+* **Scheduling.** The parent computes the *schedule* for each call up
+  front — the same chunked first-occurrence greedy segmentation the
+  vectorized backend uses, but as a pure plan: steps are rewritten into
+  execution order in the shared step buffers and described as a list of
+  ``(start, end, kind)`` segments. Conflict-free plan segments from
+  pair mode (PM's matching halves) become single batch segments with no
+  scan at all. Segmentation depends only on indices, never on values,
+  which is what makes plan-then-execute possible.
+
+* **Execution.** Each *batch* segment is node-disjoint, so **any**
+  partition of its steps is race-free; every worker takes an equal
+  contiguous slice and applies it through the shared ``combine_array``
+  IEEE path, gathering and scattering both endpoints directly in the
+  shared segment (the degenerate boundary-batch exchange: the int32
+  index + float64 value blocks travel through shared memory instead of
+  a socket). A barrier between segments enforces the global order.
+  *Sequential* segments (the conflicted window tails) are applied by
+  the parent in step order while the workers hold at the barrier.
+
+  Slicing each batch — rather than assigning steps by the row-shard of
+  their initiator — is deliberate: exchange-mode initiators arrive
+  sorted, so a greedy window's initiators span one narrow row range
+  and row-ownership would hand the whole window to a single worker.
+  Contiguous slices keep that locality (a slice of a sorted window *is*
+  a row range) while balancing the work exactly.
+
+The result is **bitwise identical** to the sequential reference
+execution for the same reason the vectorized backend is: the schedule
+preserves per-node step order, disjoint steps commute exactly, and
+``combine_array`` matches scalar ``combine`` bit for bit.
+
+Workers never draw randomness and never see the overlay (CSR partner
+draws stay engine-side), so backend swaps keep the engine's RNG stream
+untouched. The pool is spawned lazily on first use — fork where the
+platform has it, spawn otherwise — and torn down by
+:meth:`ShardedBackend.close` (also hooked to garbage collection, and
+workers are daemonic as a last resort).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.aggregates import AggregateFunction
+from ...errors import ConfigurationError, SimulationError
+from .base import (
+    ExecutionBackend,
+    apply_disjoint_batch,
+    apply_sequential,
+    first_occurrence_ready,
+    resolve_chunk,
+)
+
+#: default greedy-segmentation window for the sharded backend. Larger
+#: than the in-process :data:`~.base.PAIR_CHUNK`: every peeled batch
+#: costs one pool barrier, so the window is sized for few, fat batches
+#: (at N = 10⁶ a 64k window peels in 2–3 batches) rather than
+#: cache-resident scans. Tunable via ``REPRO_SHARD_CHUNK``.
+SHARD_CHUNK = 65536
+
+#: sequential-tail threshold for the sharded planner — larger than the
+#: in-process :data:`~.base.GREEDY_TAIL` because here a batch costs a
+#: barrier round-trip on top of the first-occurrence scan.
+SHARD_TAIL = 192
+
+#: default seconds a barrier wait may block before the pool is declared
+#: dead (override via ``REPRO_SHARD_TIMEOUT``)
+_DEFAULT_TIMEOUT = 120.0
+
+
+def _barrier_timeout() -> float:
+    """The pool liveness timeout, resolved at backend construction so a
+    malformed ``REPRO_SHARD_TIMEOUT`` raises a typed error from the
+    component that uses it, not an import-time crash."""
+    env = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
+    if not env:
+        return _DEFAULT_TIMEOUT
+    try:
+        value = float(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SHARD_TIMEOUT must be a number of seconds, got {env!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(
+            f"REPRO_SHARD_TIMEOUT must be positive, got {value}"
+        )
+    return value
+
+#: segment kinds in a schedule
+_BATCH = 0
+_SEQUENTIAL = 1
+
+Segment = Tuple[int, int, int]
+
+
+def default_workers() -> int:
+    """Worker count when none is requested: one per core, capped — the
+    exchange path saturates memory bandwidth before it runs out of
+    arithmetic, so very wide pools only add barrier traffic."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _carve(
+    shm: shared_memory.SharedMemory, rows: int, k: int, steps_cap: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The three views carved from one shared segment: the ``(rows, k)``
+    float64 value matrix followed by two int32 step buffers."""
+    matrix_bytes = rows * k * 8
+    view = np.ndarray((rows, k), dtype=np.float64, buffer=shm.buf)
+    step_i = np.ndarray(
+        (steps_cap,), dtype=np.int32, buffer=shm.buf, offset=matrix_bytes
+    )
+    step_j = np.ndarray(
+        (steps_cap,), dtype=np.int32, buffer=shm.buf,
+        offset=matrix_bytes + steps_cap * 4,
+    )
+    return view, step_i, step_j
+
+
+def _worker_slice(start: int, end: int, index: int, workers: int) -> slice:
+    """Worker ``index``'s contiguous slice of a batch segment."""
+    span = end - start
+    base, remainder = divmod(span, workers)
+    lo = start + index * base + min(index, remainder)
+    return slice(lo, lo + base + (1 if index < remainder else 0))
+
+
+def _worker_main(
+    conn, barrier, index: int, workers: int, timeout: float
+) -> None:
+    """Worker loop: remap / functions / apply / quit commands."""
+    shm: Optional[shared_memory.SharedMemory] = None
+    view = step_i = step_j = None
+    functions: Tuple[AggregateFunction, ...] = ()
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "quit":
+                break
+            if command == "remap":
+                _, name, rows, k, steps_cap = message
+                view = step_i = step_j = None
+                if shm is not None:
+                    shm.close()
+                # NOTE: attaching registers the name with the resource
+                # tracker again (bpo-38119), but parent and workers
+                # share one tracker process, whose name set dedups the
+                # double registration; the parent's unlink clears it.
+                shm = shared_memory.SharedMemory(name=name)
+                view, step_i, step_j = _carve(shm, rows, k, steps_cap)
+                # the parent keeps the *previous* segment linked until
+                # every worker has confirmed the switch (attaching a
+                # name that a faster remap already unlinked would fail)
+                conn.send(("remapped", name))
+            elif command == "functions":
+                functions = message[1]
+            elif command == "apply":
+                for start, end, kind in message[1]:
+                    if kind == _BATCH:
+                        sl = _worker_slice(start, end, index, workers)
+                        apply_disjoint_batch(
+                            view, functions, step_i[sl], step_j[sl]
+                        )
+                    barrier.wait(timeout)
+    except (EOFError, KeyboardInterrupt):
+        # the parent closed the command pipe (shutdown) — exit quietly
+        pass
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+        barrier.abort()
+    finally:
+        view = step_i = step_j = None
+        if shm is not None:
+            shm.close()
+
+
+def _unlink(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _stop_pool(procs, pipes) -> None:
+    """Stop the worker processes and close the command pipes."""
+    for pipe in pipes:
+        try:
+            pipe.send(("quit",))
+        except OSError:
+            pass
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - crash path
+            proc.terminate()
+            proc.join(timeout=5)
+    for pipe in pipes:
+        try:
+            pipe.close()
+        except OSError:
+            pass
+    procs.clear()
+    pipes.clear()
+
+
+def _shutdown(procs, pipes, shm_holder, parked) -> None:
+    """Full teardown; module-level so ``weakref.finalize`` holds no
+    reference back to the backend.
+
+    Closing a segment unmaps it even while numpy views exist (numpy's
+    ``buffer=`` interface holds no buffer export), so this must only
+    run when no live view can still be read: the orderly path detaches
+    the engine's matrix first (:meth:`ExecutionBackend.release_matrix`),
+    and the GC path implies the engine is unreachable.
+    """
+    _stop_pool(procs, pipes)
+    for shm in shm_holder + parked:
+        _unlink(shm)
+        shm.close()
+    shm_holder.clear()
+    parked.clear()
+
+
+class ShardedBackend(ExecutionBackend):
+    """Shared-memory multi-process execution — the million-node path."""
+
+    name = "sharded"
+
+    def __init__(
+        self, workers: Optional[int] = None, *, chunk: Optional[int] = None
+    ):
+        if workers is None:
+            workers = default_workers()
+        if (
+            isinstance(workers, bool)
+            or not isinstance(workers, (int, np.integer))
+            or workers < 1
+        ):
+            raise ConfigurationError(
+                f"sharded worker count must be a positive integer, "
+                f"got {workers!r}"
+            )
+        self.workers = int(workers)
+        self._chunk = resolve_chunk(
+            chunk, env_var="REPRO_SHARD_CHUNK", default=SHARD_CHUNK
+        )
+        self._timeout = _barrier_timeout()
+        # fork only where it is actually safe: macOS has fork available
+        # but CPython switched its default to spawn for a reason (forked
+        # children inherit Objective-C/Accelerate state and can abort in
+        # the first BLAS call). The worker entry point is module-level
+        # and all state travels over the pipes, so spawn works anywhere.
+        start_method = (
+            "fork"
+            if sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._procs: List = []
+        self._pipes: List = []
+        self._barrier = None
+        # current segment (held in a one-element list so the finalizer
+        # can see replacements) + parked segments: the most recent
+        # superseded segment (and any failure-orphaned one) whose
+        # parent-side mapping is kept open because a stale numpy view
+        # (an old engine matrix mid-remap, a matrix read after a pool
+        # failure) would otherwise dangle — numpy's ``buffer=`` holds
+        # no export, so closing unmaps unconditionally. Names are
+        # unlinked eagerly; each remap releases the generation before
+        # last (no older view can be live once the engine re-adopted),
+        # so at most previous + current stay mapped (≈ 2x the live
+        # segment), freed entirely at close()/GC.
+        self._shm_holder: List[shared_memory.SharedMemory] = []
+        self._parked: List[shared_memory.SharedMemory] = []
+        self._view: Optional[np.ndarray] = None
+        self._step_i: Optional[np.ndarray] = None
+        self._step_j: Optional[np.ndarray] = None
+        self._steps_cap = 0
+        self._adopted = False
+        self._sent_functions: Optional[Tuple] = None
+        # planner scratch (parent-side greedy segmentation)
+        self._position: Optional[np.ndarray] = None
+        self._flat: Optional[np.ndarray] = None
+        self._slots: Optional[np.ndarray] = None
+        self._finalizer = weakref.finalize(
+            self, _shutdown,
+            self._procs, self._pipes, self._shm_holder, self._parked,
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def active_workers(self) -> int:
+        """Live worker processes (0 before first use / after close)."""
+        return sum(1 for proc in self._procs if proc.is_alive())
+
+    def release_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """A heap copy of the shared view, safe to read after
+        :meth:`close` (see the base-class contract)."""
+        if matrix is self._view:
+            return matrix.copy()
+        return matrix
+
+    def close(self) -> None:
+        """Shut the worker pool down and release the shared segments.
+
+        Callers reading the matrix afterwards must hold the detached
+        copy from :meth:`release_matrix` (engines do this in
+        ``GossipEngine.close``), not a view into the segment.
+        """
+        self._view = self._step_i = self._step_j = None
+        self._steps_cap = 0
+        self._adopted = False
+        self._sent_functions = None
+        self._barrier = None
+        if self._finalizer.alive:
+            self._finalizer()
+        self._finalizer = weakref.finalize(
+            self, _shutdown,
+            self._procs, self._pipes, self._shm_holder, self._parked,
+        )
+
+    def _abort(self) -> str:
+        """Tear the pool down after a failure, *parking* the segments:
+        the caller's engine may still read its matrix view before (or
+        instead of) an orderly close. Returns worker diagnostics."""
+        detail = self._pool_error()
+        _stop_pool(self._procs, self._pipes)
+        for shm in self._shm_holder:
+            _unlink(shm)
+            self._parked.append(shm)
+        self._shm_holder.clear()
+        self._barrier = None
+        self._sent_functions = None
+        return detail
+
+    def _ensure_pool(self) -> None:
+        if self._procs:
+            return
+        # make sure the resource-tracker process exists *before* the
+        # workers fork, so they inherit its pipe and share it: a worker
+        # that forks tracker-less would lazily spawn a private tracker
+        # on its first segment attach and warn about "leaked" segments
+        # it does not own at exit
+        try:  # pragma: no cover - interpreter plumbing
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self._barrier = self._ctx.Barrier(self.workers + 1)
+        for index in range(self.workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._barrier, index, self.workers,
+                      self._timeout),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._pipes.append(parent_conn)
+
+    def _broadcast(self, message) -> None:
+        try:
+            for pipe in self._pipes:
+                pipe.send(message)
+        except OSError as error:
+            # a dead worker (OOM kill, crash) broke the pipe: surface
+            # its diagnostics and stop the survivors — they would
+            # otherwise sit blocked on recv() until close/GC
+            detail = self._abort()
+            raise SimulationError(
+                f"sharded backend lost a worker ({error}):\n{detail}"
+            ) from error
+        except (pickle.PicklingError, AttributeError, TypeError,
+                ValueError) as error:
+            raise SimulationError(
+                f"sharded backend could not serialize a command "
+                f"({error}); unpicklable aggregate functions are the "
+                f"usual cause — use module-level AggregateFunction "
+                f"classes with the sharded backend"
+            ) from error
+
+    def _pool_error(self) -> str:
+        reports = []
+        for index, pipe in enumerate(self._pipes):
+            try:
+                while pipe.poll():
+                    message = pipe.recv()
+                    if message and message[0] == "error":
+                        reports.append(
+                            f"worker {index}:\n{message[1]}"
+                        )
+            except (EOFError, OSError):
+                reports.append(f"worker {index}: exited")
+        return "\n".join(reports) or "no worker diagnostics available"
+
+    def _wait(self) -> None:
+        try:
+            self._barrier.wait(self._timeout)
+        except Exception:
+            detail = self._abort()
+            raise SimulationError(
+                f"sharded backend worker pool failed:\n{detail}"
+            ) from None
+
+    def _await_acks(self, expected: str) -> None:
+        """One confirmation message from every worker, in pool order."""
+        for index, pipe in enumerate(self._pipes):
+            failure = None
+            try:
+                if pipe.poll(self._timeout):
+                    message = pipe.recv()
+                    if message and message[0] == expected:
+                        continue
+                    failure = (
+                        message[1] if message and message[0] == "error"
+                        else f"unexpected reply {message!r}"
+                    )
+                else:
+                    failure = f"no {expected!r} reply within timeout"
+            except (EOFError, OSError):
+                failure = "exited"
+            detail = f"worker {index}: {failure}\n{self._abort()}"
+            raise SimulationError(
+                f"sharded backend worker pool failed:\n{detail}"
+            )
+
+    # -- shared-memory mapping --------------------------------------------
+
+    def _map(self, rows: int, k: int, steps_cap: int) -> None:
+        """(Re)create the shared segment and switch the pool over."""
+        self._ensure_pool()
+        nbytes = max(rows * k * 8 + steps_cap * 8, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        view, step_i, step_j = _carve(shm, rows, k, steps_cap)
+        previous = list(self._shm_holder)
+        self._shm_holder.clear()
+        self._shm_holder.append(shm)
+        self._view, self._step_i, self._step_j = view, step_i, step_j
+        self._steps_cap = steps_cap
+        # park the previous generation *before* the remap round-trip so
+        # a failure mid-remap leaves it reachable for close()/_shutdown
+        # (its name is still linked at this point; _unlink is tolerant)
+        older = list(self._parked)
+        self._parked.extend(previous)
+        self._broadcast(("remap", shm.name, rows, k, steps_cap))
+        # wait until every worker confirms it attached the new segment:
+        # unlinking the previous name before a slow worker processed an
+        # *earlier* remap command would make that attach fail
+        self._await_acks("remapped")
+        # grandparent generations can go: the engine re-adopted the
+        # *previous* segment's replacement synchronously, so no live
+        # view of anything older can remain (keeping them all would
+        # grow linearly with epoch instance-count rebuilds, which remap
+        # on nearly every epoch of the Figure 4 workload). The previous
+        # segment keeps its parent-side mapping — an engine matrix may
+        # still view it until re-adoption lands — but loses its name
+        # (workers closed their mappings on remap).
+        for stale in older:
+            stale.close()
+        for old in previous:
+            _unlink(old)
+        self._parked[:] = previous
+
+    def adopt_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        source = np.ascontiguousarray(matrix, dtype=np.float64)
+        rows, k = source.shape
+        self._map(rows, k, steps_cap=max(rows, 1))
+        self._view[:] = source
+        self._adopted = True
+        return self._view
+
+    def _ensure_functions(
+        self, functions: Sequence[AggregateFunction]
+    ) -> None:
+        if functions is self._sent_functions:
+            return
+        payload = tuple(functions)
+        self._broadcast(("functions", payload))
+        self._sent_functions = functions
+
+    # -- the backend contract ---------------------------------------------
+
+    def apply_exchanges(
+        self,
+        matrix: np.ndarray,
+        functions: Sequence[AggregateFunction],
+        exch_i: np.ndarray,
+        exch_j: np.ndarray,
+        *,
+        cycle: int = 0,
+        trace=None,
+    ) -> None:
+        if trace is not None:
+            raise SimulationError(
+                "the sharded backend does not support exchange tracing; "
+                "use backend='reference'"
+            )
+        self._apply(matrix, functions, exch_i, exch_j, None, self._chunk)
+
+    def apply_pairs(
+        self,
+        matrix: np.ndarray,
+        functions: Sequence[AggregateFunction],
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+        *,
+        plan: Optional[Tuple[Tuple[int, int, bool], ...]] = None,
+        chunk: Optional[int] = None,
+        cycle: int = 0,
+        trace=None,
+    ) -> None:
+        if trace is not None:
+            raise SimulationError(
+                "the sharded backend does not support exchange tracing; "
+                "use backend='reference'"
+            )
+        window = self._chunk if chunk is None else resolve_chunk(chunk)
+        self._apply(matrix, functions, pairs_i, pairs_j, plan, window)
+
+    def _apply(self, matrix, functions, raw_i, raw_j, plan, window) -> None:
+        pending_i = np.ascontiguousarray(raw_i, dtype=np.int32)
+        pending_j = np.ascontiguousarray(raw_j, dtype=np.int32)
+        m = len(pending_i)
+        if m == 0:
+            return
+        borrowed = matrix is not self._view
+        if borrowed:
+            if self._adopted:
+                # an engine owns this backend's segment; staging a
+                # different matrix would overwrite (or desync) the
+                # engine's live state — direct use needs its own backend
+                raise SimulationError(
+                    "this ShardedBackend is adopted by an engine; "
+                    "create a separate backend for direct apply calls"
+                )
+            # direct use outside an engine (tests, ad-hoc callers):
+            # stage the caller's matrix in shared memory for this call
+            rows, k = matrix.shape
+            if (
+                self._view is None
+                or self._view.shape != (rows, k)
+                or self._steps_cap < m
+            ):
+                self._map(rows, k, steps_cap=max(rows, m))
+            self._view[:] = matrix
+        elif m > self._steps_cap:  # pragma: no cover - engine sizes it
+            # remapping here would desync the engine (its matrix still
+            # views the old segment and only the engine can re-adopt);
+            # adopt_matrix sizes steps_cap = rows and every engine path
+            # emits <= rows steps per call, so this is a contract bug
+            raise SimulationError(
+                f"sharded backend got {m} steps for a step buffer of "
+                f"{self._steps_cap} — the adopted matrix must be "
+                f"re-adopted (engine hand-off) before applying more "
+                f"steps than rows"
+            )
+        self._ensure_functions(functions)
+        segments = self._schedule(pending_i, pending_j, plan, window)
+        self._broadcast(("apply", segments))
+        for start, end, kind in segments:
+            if kind == _SEQUENTIAL:
+                apply_sequential(
+                    self._view, functions,
+                    self._step_i[start:end], self._step_j[start:end],
+                )
+            self._wait()
+        if borrowed:
+            np.copyto(matrix, self._view)
+
+    # -- the planner ------------------------------------------------------
+
+    def _planner_scratch(self, rows: int, window: int):
+        if self._position is None or len(self._position) < rows:
+            self._position = np.empty(rows, dtype=np.int32)
+        if self._flat is None or len(self._flat) < 2 * window:
+            self._flat = np.empty(2 * window, dtype=np.int32)
+            self._slots = np.arange(2 * window, dtype=np.int32)
+        return self._position, self._flat, self._slots
+
+    def _schedule(
+        self,
+        pending_i: np.ndarray,
+        pending_j: np.ndarray,
+        plan: Optional[Tuple[Tuple[int, int, bool], ...]],
+        window: int,
+    ) -> List[Segment]:
+        """Rewrite the step sequence into execution order in the shared
+        step buffers and describe it as ``(start, end, kind)`` segments.
+
+        The order is exactly the one the in-process greedy execution
+        would apply, so the result is bitwise-equal to the sequential
+        oracle; only *who* applies each stretch differs.
+        """
+        out_i, out_j = self._step_i, self._step_j
+        position, flat, slots = self._planner_scratch(
+            self._view.shape[0], window
+        )
+        segments: List[Segment] = []
+        cursor = 0
+        if plan is None:
+            plan = ((0, len(pending_i), False),)
+        for start, end, conflict_free in plan:
+            if end <= start:
+                continue
+            if conflict_free:
+                size = end - start
+                out_i[cursor:cursor + size] = pending_i[start:end]
+                out_j[cursor:cursor + size] = pending_j[start:end]
+                segments.append((cursor, cursor + size, _BATCH))
+                cursor += size
+                continue
+            for lo in range(start, end, window):
+                hi = min(lo + window, end)
+                chunk_i = pending_i[lo:hi]
+                chunk_j = pending_j[lo:hi]
+                while True:
+                    size = len(chunk_i)
+                    if size <= SHARD_TAIL:
+                        if size:
+                            out_i[cursor:cursor + size] = chunk_i
+                            out_j[cursor:cursor + size] = chunk_j
+                            segments.append(
+                                (cursor, cursor + size, _SEQUENTIAL)
+                            )
+                            cursor += size
+                        break
+                    ready = first_occurrence_ready(
+                        chunk_i, chunk_j, position, flat, slots
+                    )
+                    if ready.all():
+                        out_i[cursor:cursor + size] = chunk_i
+                        out_j[cursor:cursor + size] = chunk_j
+                        segments.append((cursor, cursor + size, _BATCH))
+                        cursor += size
+                        break
+                    batch_i = chunk_i[ready]
+                    batch_size = len(batch_i)
+                    out_i[cursor:cursor + batch_size] = batch_i
+                    out_j[cursor:cursor + batch_size] = chunk_j[ready]
+                    segments.append((cursor, cursor + batch_size, _BATCH))
+                    cursor += batch_size
+                    keep = ~ready
+                    chunk_i = chunk_i[keep]
+                    chunk_j = chunk_j[keep]
+        return segments
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedBackend(workers={self.workers})"

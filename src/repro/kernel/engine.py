@@ -227,8 +227,42 @@ class GossipEngine:
                 )
             # telemetry needs the sequential per-exchange path
             backend_name = "reference"
+        self._closed = False
         self._backend: ExecutionBackend = make_backend(backend_name)
+        # hand the matrix to the backend: in-process backends return it
+        # unchanged, the sharded backend moves it into shared memory so
+        # all later in-place engine mutations are visible to its workers
+        self._matrix = self._backend.adopt_matrix(self._matrix)
+        # the fused alive/loss/partition mask pass only exists to serve
+        # failure specs; without any, and as long as no mask mutation
+        # has ever happened (_mask_version still 0), a static cycle's
+        # exchanges are exactly (initiators, partners) — no mask
+        # allocation, no compaction scan
+        self._no_failure_filters = (
+            scenario.loss_schedule is None
+            and scenario.loss_probability == 0.0
+            and scenario.partition is None
+        )
         self.cycle = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend-owned resources (the sharded backend's worker
+        pool and shared segment; a no-op for in-process backends).
+        Idempotent; the engine must not be *run* afterwards (enforced),
+        but every observer (``matrix``, ``variance``, ``alive_column``,
+        …) stays valid — the matrix is detached from backend-owned
+        storage before that storage is unmapped."""
+        self._closed = True
+        self._matrix = self._backend.release_matrix(self._matrix)
+        self._backend.close()
+
+    def __enter__(self) -> "GossipEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> None:
+        self.close()
 
     # -- observation -----------------------------------------------------
 
@@ -360,6 +394,9 @@ class GossipEngine:
             self._attributes = np.vstack(
                 [self._attributes, np.zeros((grow, self._attributes.shape[1]))]
             )
+        # re-adopt after reallocation (the sharded backend remaps its
+        # shared segment; geometric growth keeps remaps O(log n))
+        self._matrix = self._backend.adopt_matrix(self._matrix)
 
     def _admit(self, count: int) -> np.ndarray:
         """Admit ``count`` joiners: recycle departed slots (LIFO), then
@@ -456,7 +493,9 @@ class GossipEngine:
             # column running the epoch spec's AGGREGATE
             self._functions = (spec.function,) * k_new
             self._names = tuple(range(k_new))
-            self._matrix = np.zeros((self.capacity, k_new))
+            self._matrix = self._backend.adopt_matrix(
+                np.zeros((self.capacity, k_new))
+            )
         self._matrix[participants] = rows
 
     def _finalize_epoch(self, end_cycle: int) -> None:
@@ -516,6 +555,12 @@ class GossipEngine:
     def run_cycle(self) -> int:
         """One synchronous cycle (every participant initiates once, in
         slot order). Returns the number of successful exchanges."""
+        if self._closed:
+            # a closed engine's matrix is detached from its backend; a
+            # sharded backend would silently respawn a pool and run on
+            # a stale copy — fail loudly instead
+            raise SimulationError("this engine is closed; build a new "
+                                  "GossipEngine to run again")
         if self._pair is not None:
             return self._run_pair_cycle()
         scenario = self.scenario
@@ -562,6 +607,23 @@ class GossipEngine:
             partners = scenario.topology.random_neighbor_array(
                 initiators, rng, out=plan.partners[:count]
             )
+            if self._no_failure_filters and self._mask_version == 0:
+                # static fast path: every node alive (no crash has ever
+                # bumped the mask version) and nothing can fail an
+                # exchange, so the survivors ARE (initiators, partners)
+                # — skip the mask pass and the compaction entirely.
+                # No RNG is consumed either way, so trajectories stay
+                # bitwise-identical to the filtered path.
+                self._backend.apply_exchanges(
+                    self._matrix,
+                    self._functions,
+                    initiators,
+                    partners,
+                    cycle=self.cycle,
+                    trace=self._trace,
+                )
+                self.cycle += 1
+                return count
             loss = scenario.loss_at(self.cycle)
             # one fused mask pass: contacting a crashed neighbor fails
             # the exchange, then loss coins, then the partition filter
@@ -652,5 +714,10 @@ class GossipEngine:
 def run_scenario(
     scenario: Scenario, *, cycles: Optional[int] = None, trace=None
 ) -> KernelRunResult:
-    """Build an engine for ``scenario`` and run it to completion."""
-    return GossipEngine(scenario, trace=trace).run(cycles)
+    """Build an engine for ``scenario``, run it to completion, and
+    release its backend (sharded scenarios spawn a worker pool)."""
+    engine = GossipEngine(scenario, trace=trace)
+    try:
+        return engine.run(cycles)
+    finally:
+        engine.close()

@@ -26,11 +26,12 @@ from ..failures.crash import CrashPlan
 from ..rng import SeedLike
 from ..topology.base import Topology
 from ..topology.complete import CompleteTopology
+# BACKEND_NAMES is re-exported for back-compat: the canonical
+# definition moved to backends/registry.py, but this module was its
+# historical home (`from repro.kernel.scenario import BACKEND_NAMES`)
+from .backends import BACKEND_NAMES, parse_backend_spec  # noqa: F401
 from .lifecycle import ChurnSpec, EpochSpec
 from .pairs import PairProtocolSpec, TheoremSAggregate
-
-#: backend names accepted by :attr:`Scenario.backend`
-BACKEND_NAMES = ("auto", "reference", "vectorized")
 
 #: ``auto`` switches to the vectorized backend at and above this size.
 #: Measured crossover band after the CSR/CyclePlan constant-shaving
@@ -108,8 +109,10 @@ class Scenario:
         RNG seed or generator for the whole run.
     backend:
         ``"reference"`` (sequential semantic oracle), ``"vectorized"``
-        (structure-of-arrays batched execution) or ``"auto"`` (pick by
-        network size).
+        (structure-of-arrays batched execution), ``"sharded"`` /
+        ``"sharded:<workers>"`` (multi-process shared-memory execution)
+        or ``"auto"`` (pick by network size; never picks sharded — the
+        worker pool is an explicit opt-in).
     """
 
     topology: Topology
@@ -163,11 +166,9 @@ class Scenario:
             raise ConfigurationError(
                 f"cycles must be non-negative, got {self.cycles}"
             )
-        if self.backend not in BACKEND_NAMES:
-            raise ConfigurationError(
-                f"unknown backend {self.backend!r}; expected one of "
-                f"{BACKEND_NAMES}"
-            )
+        # raises BackendSpecError (a ConfigurationError) on unknown
+        # names and malformed "sharded:<workers>" specs
+        parse_backend_spec(self.backend, allow_auto=True)
         if self.churn is not None:
             if isinstance(self.churn, ChurnModel):
                 object.__setattr__(self, "churn", ChurnSpec(model=self.churn))
@@ -302,7 +303,12 @@ class Scenario:
         return self.loss_probability
 
     def resolve_backend(self) -> str:
-        """The concrete backend ``auto`` resolves to for this scenario."""
+        """The concrete backend ``auto`` resolves to for this scenario.
+
+        ``auto`` only ever picks an in-process backend; the sharded
+        worker pool must be requested explicitly (its spawn cost and
+        memory footprint are not worth paying by surprise).
+        """
         if self.backend != "auto":
             return self.backend
         if self.n >= AUTO_VECTORIZE_THRESHOLD:

@@ -112,6 +112,21 @@ class CycleSimulator:
         )
         self._engine = GossipEngine(scenario, trace=trace)
 
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's backend resources (a sharded worker
+        pool and its shared segment; no-op for in-process backends).
+        The simulator is incremental, so closing is the caller's call —
+        or use the simulator as a context manager."""
+        self._engine.close()
+
+    def __enter__(self) -> "CycleSimulator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> None:
+        self.close()
+
     # -- observation -----------------------------------------------------
 
     @property

@@ -162,6 +162,60 @@ class TestCyclePlan:
         assert engine._plan.capacity == engine.capacity
 
 
+class TestStaticFastPath:
+    """Without loss/partition specs (and before any mask mutation) the
+    engine skips the mask pass and compaction: the exchanges ARE
+    (initiators, partners). The fast path must deactivate the moment
+    a crash makes the alive mask non-trivial."""
+
+    def test_every_initiation_succeeds(self, topo, values):
+        result = GossipEngine(Scenario(topo, values, seed=25)).run(4)
+        assert result.exchange_counts == [topo.n] * 4
+
+    def test_bitwise_equal_to_filtered_path(self, topo, values):
+        """Forcing the filtered path with an always-zero loss schedule
+        must reproduce the fast path bit for bit (neither consumes
+        extra RNG)."""
+        fast = GossipEngine(Scenario(topo, values, seed=26))
+        slow = GossipEngine(
+            Scenario(topo, values, loss_schedule=lambda cycle: 0.0, seed=26)
+        )
+        assert fast._no_failure_filters and not slow._no_failure_filters
+        fast_result = fast.run(6)
+        slow_result = slow.run(6)
+        assert np.array_equal(fast.matrix, slow.matrix)
+        assert fast_result.exchange_counts == slow_result.exchange_counts
+
+    def test_manual_crash_disables_fast_path(self, topo, values):
+        engine = GossipEngine(Scenario(topo, values, seed=27))
+        engine.run(2)
+        before = engine.matrix
+        victims = list(range(30))
+        engine.crash(victims)
+        result = engine.run(4)
+        # dead rows frozen and contacted-dead exchanges dropped — the
+        # fast path would have kept scattering onto crashed slots
+        assert np.array_equal(engine.matrix[victims], before[victims])
+        assert all(count <= topo.n - 30 for count in result.exchange_counts)
+
+    def test_crash_plan_scenarios_start_fast_then_filter(self, topo, values):
+        plan = CrashPlan()
+        plan.add(2, list(range(40)))
+        engine = GossipEngine(Scenario(topo, values, crash_plan=plan, seed=28))
+        result = engine.run(5)
+        # cycles before the crash ran the fast path (full exchange
+        # counts); afterwards the mask pass filters dead partners
+        assert result.exchange_counts[0] == topo.n
+        assert all(count <= topo.n - 40 for count in result.exchange_counts[2:])
+
+
+class TestEngineLifecycle:
+    def test_context_manager_closes_backend(self, topo, values):
+        with GossipEngine(Scenario(topo, values, seed=29)) as engine:
+            engine.run(1)
+        engine.close()  # idempotent on in-process backends
+
+
 class TestRecordingModes:
     def test_record_end_keeps_endpoints_only(self, topo, values):
         engine = GossipEngine(Scenario(topo, values, seed=9))

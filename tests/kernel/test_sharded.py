@@ -1,0 +1,435 @@
+"""Sharded-backend determinism and lifecycle suite.
+
+The sharded backend replays the engine's exact exchange/pair sequences
+through a worker pool over a shared-memory value matrix, so — like the
+vectorized backend — it must reproduce the reference trajectories
+**bitwise**, for any worker count, under every scenario family the
+kernel supports: plain cycles, pair mode (all four GETPAIR selectors),
+failure filters, churn + epoch restarts (including capacity growth,
+which remaps the shared segment), and sparse CSR overlays.
+
+Backend specs (``"sharded:<workers>"``) and their typed
+:class:`~repro.errors.BackendSpecError` failures are covered here too,
+including at the CLI boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import (
+    MaxAggregate,
+    MeanAggregate,
+    moment_values,
+)
+from repro.errors import BackendSpecError, ConfigurationError
+from repro.failures import ConstantRateChurn, CrashPlan
+from repro.kernel import (
+    ChurnSpec,
+    EpochSpec,
+    GossipEngine,
+    PairProtocolSpec,
+    ReferenceBackend,
+    Scenario,
+    ShardedBackend,
+    make_backend,
+    parse_backend_spec,
+)
+from repro.topology import (
+    CompleteTopology,
+    ErdosRenyiTopology,
+    RandomRegularTopology,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_engine(backend, scenario_kwargs, cycles=10):
+    """One full engine run; returns (final matrix, result)."""
+    with GossipEngine(Scenario(backend=backend, **scenario_kwargs)) as engine:
+        result = engine.run(cycles)
+        return engine.matrix, engine.alive_mask, result
+
+
+def assert_sharded_matches_reference(scenario_kwargs, workers, cycles=10):
+    ref_matrix, ref_alive, ref_result = run_engine(
+        "reference", scenario_kwargs, cycles
+    )
+    sh_matrix, sh_alive, sh_result = run_engine(
+        f"sharded:{workers}", scenario_kwargs, cycles
+    )
+    assert np.array_equal(ref_matrix, sh_matrix)
+    assert np.array_equal(ref_alive, sh_alive)
+    assert ref_result.exchange_counts == sh_result.exchange_counts
+    assert ref_result.alive_counts == sh_result.alive_counts
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+class TestShardedBitwiseEquivalence:
+    def test_plain_cycles(self, workers):
+        topology = CompleteTopology(257)
+        values = np.random.default_rng(1).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(topology=topology, values=values, seed=51), workers
+        )
+
+    def test_multi_aggregate(self, workers):
+        topology = CompleteTopology(200)
+        values = np.random.default_rng(2).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(
+                topology=topology,
+                values=values,
+                aggregates={
+                    "mean": MeanAggregate(),
+                    "m2": MeanAggregate(),
+                    "max": MaxAggregate(),
+                },
+                initial={"m2": moment_values(values, 2)},
+                seed=52,
+            ),
+            workers,
+        )
+
+    def test_loss_and_crashes(self, workers):
+        """Failure filters drive the engine's masked (slow) path; the
+        surviving exchange stream must still replay identically."""
+        topology = CompleteTopology(240)
+        values = np.random.default_rng(3).normal(5.0, 2.0, topology.n)
+        plan = CrashPlan()
+        plan.add(3, list(range(40)))
+        assert_sharded_matches_reference(
+            dict(topology=topology, values=values, loss_probability=0.25,
+                 crash_plan=plan, seed=53),
+            workers,
+        )
+
+    @pytest.mark.parametrize("selector", ["pm", "rand", "seq", "pmrand"])
+    def test_pair_mode_selectors(self, workers, selector):
+        topology = CompleteTopology(200)
+        values = np.random.default_rng(4).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(
+                topology=topology,
+                values=values,
+                pair_protocol=PairProtocolSpec(selector, track_s=True),
+                seed=54,
+            ),
+            workers,
+            cycles=6,
+        )
+
+    def test_churn_with_epoch_restarts(self, workers):
+        topology = CompleteTopology(220)
+        values = np.random.default_rng(5).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(
+                topology=topology,
+                values=values,
+                churn=ChurnSpec(
+                    model=ConstantRateChurn(
+                        joins_per_cycle=6, leaves_per_cycle=4
+                    ),
+                    join_values=lambda m, rng: rng.normal(5.0, 2.0, m),
+                ),
+                epochs=EpochSpec(cycles_per_epoch=5),
+                seed=55,
+            ),
+            workers,
+            cycles=15,
+        )
+
+    def test_capacity_growth_remaps_shared_segment(self, workers):
+        """Heavy joins force geometric matrix growth, so the backend
+        must remap its shared segment mid-run — repeatedly."""
+        topology = CompleteTopology(64)
+        values = np.random.default_rng(6).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(
+                topology=topology,
+                values=values,
+                churn=ConstantRateChurn(joins_per_cycle=40,
+                                        leaves_per_cycle=2),
+                seed=56,
+            ),
+            workers,
+            cycles=12,
+        )
+
+    def test_sparse_csr_overlay(self, workers):
+        """The paper's 20-regular overlay: CSR partner draws stay
+        engine-side; the sharded execution must match bit for bit."""
+        topology = RandomRegularTopology(120, 20, seed=7)
+        values = np.random.default_rng(7).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(topology=topology, values=values, seed=57), workers
+        )
+
+    def test_irregular_sparse_overlay(self, workers):
+        topology = ErdosRenyiTopology(150, 0.08, seed=8)
+        values = np.random.default_rng(8).normal(5.0, 2.0, topology.n)
+        assert_sharded_matches_reference(
+            dict(topology=topology, values=values, seed=58), workers
+        )
+
+
+class TestShardedBackendDirect:
+    """Direct (engine-less) use: the backend stages a borrowed matrix
+    through shared memory for the call and copies the result back."""
+
+    def test_apply_exchanges_on_borrowed_matrix(self):
+        rng = np.random.default_rng(9)
+        n, m = 90, 300
+        matrix_ref = rng.normal(0.0, 1.0, (n, 2))
+        matrix_sh = matrix_ref.copy()
+        exch_i = rng.integers(0, n, m)
+        exch_j = (exch_i + 1 + rng.integers(0, n - 1, m)) % n
+        functions = (MeanAggregate(), MaxAggregate())
+        ReferenceBackend().apply_exchanges(
+            matrix_ref, functions, exch_i, exch_j
+        )
+        backend = ShardedBackend(workers=2)
+        try:
+            backend.apply_exchanges(matrix_sh, functions, exch_i, exch_j)
+        finally:
+            backend.close()
+        assert np.array_equal(matrix_ref, matrix_sh)
+
+    def test_tiny_chunk_stresses_segment_boundaries(self):
+        """A pathological 7-step window exercises many batch/tail
+        segments per call; results must not change."""
+        rng = np.random.default_rng(10)
+        n, m = 40, 200
+        matrix_ref = rng.normal(0.0, 1.0, (n, 1))
+        matrix_sh = matrix_ref.copy()
+        exch_i = rng.integers(0, n, m)
+        exch_j = (exch_i + 1 + rng.integers(0, n - 1, m)) % n
+        functions = (MeanAggregate(),)
+        ReferenceBackend().apply_exchanges(
+            matrix_ref, functions, exch_i, exch_j
+        )
+        backend = ShardedBackend(workers=3, chunk=7)
+        try:
+            backend.apply_exchanges(matrix_sh, functions, exch_i, exch_j)
+        finally:
+            backend.close()
+        assert np.array_equal(matrix_ref, matrix_sh)
+
+    def test_empty_call_is_a_noop(self):
+        backend = ShardedBackend(workers=1)
+        matrix = np.ones((4, 1))
+        backend.apply_exchanges(
+            matrix, (MeanAggregate(),),
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+        )
+        # no pool should have spawned for an empty exchange list
+        assert backend.active_workers == 0
+        backend.close()
+        assert np.array_equal(matrix, np.ones((4, 1)))
+
+
+class TestShardedLifecycle:
+    def test_close_terminates_workers(self):
+        topology = CompleteTopology(128)
+        values = np.random.default_rng(11).normal(5.0, 2.0, topology.n)
+        engine = GossipEngine(
+            Scenario(topology, values, seed=59, backend="sharded:2")
+        )
+        backend = engine._backend
+        assert backend.active_workers == 2
+        engine.run(2)
+        engine.close()
+        assert backend.active_workers == 0
+        # idempotent
+        engine.close()
+        assert backend.active_workers == 0
+
+    def test_engine_observers_valid_after_close(self):
+        """Closing unmaps the shared segment, so the engine must detach
+        its matrix first (release_matrix) — post-close reads used to
+        hit unmapped memory (hard crash, not an exception)."""
+        topology = CompleteTopology(128)
+        values = np.random.default_rng(12).normal(5.0, 2.0, topology.n)
+        engine = GossipEngine(
+            Scenario(topology, values, seed=60, backend="sharded:2")
+        )
+        engine.run(3)
+        live_matrix = engine.matrix
+        engine.close()
+        assert np.array_equal(engine.matrix, live_matrix)
+        assert engine.variance() >= 0.0
+        assert len(engine.alive_column()) == topology.n
+        assert float(np.mean(values)) == pytest.approx(engine.mean())
+        # running again would silently respawn a pool on a stale copy
+        with pytest.raises(Exception, match="closed"):
+            engine.run(1)
+
+    def test_shard_chunk_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_CHUNK", "123")
+        backend = ShardedBackend(workers=1)
+        assert backend._chunk == 123
+        backend.close()
+        monkeypatch.setenv("REPRO_SHARD_CHUNK", "nope")
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=1)
+
+    def test_parked_segments_stay_bounded_across_epoch_rebuilds(self):
+        """Epoch restarts that change the instance count re-adopt the
+        matrix every epoch; only the last superseded segment may stay
+        mapped (older generations have no live views) or long Figure 4
+        runs would retain one dead segment per epoch."""
+        n = 64
+        values = np.random.default_rng(14).normal(5.0, 2.0, n)
+
+        def reseed(context):
+            # alternate the instance count so every epoch rebuilds
+            k = 1 + (context.epoch % 2)
+            return np.ones((len(context.participants), k))
+
+        engine = GossipEngine(
+            Scenario(
+                CompleteTopology(n), values,
+                epochs=EpochSpec(cycles_per_epoch=2, reseed=reseed),
+                seed=62, backend="sharded:1",
+            )
+        )
+        try:
+            engine.run(20)  # 10 epochs, ~10 remaps
+            assert len(engine._backend._parked) <= 1
+        finally:
+            engine.close()
+        assert engine._backend._parked == []
+
+    def test_timeout_env_validated_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "not-seconds")
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=1)
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "-1")
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=1)
+
+    def test_spawn_start_method_works(self, monkeypatch):
+        """Off Linux the pool uses spawn (fork is unsafe under macOS
+        frameworks); the worker protocol must be spawn-clean — entry
+        point importable, all state over pipes."""
+        import repro.kernel.backends.sharded as sharded_module
+
+        monkeypatch.setattr(sharded_module.sys, "platform", "darwin")
+        topology = CompleteTopology(96)
+        values = np.random.default_rng(13).normal(5.0, 2.0, topology.n)
+        ref_matrix, _, _ = run_engine(
+            "reference", dict(topology=topology, values=values, seed=61),
+            cycles=4,
+        )
+        engine = GossipEngine(
+            Scenario(topology, values, seed=61, backend="sharded:1")
+        )
+        try:
+            assert engine._backend._ctx.get_start_method() == "spawn"
+            engine.run(4)
+            assert np.array_equal(engine.matrix, ref_matrix)
+        finally:
+            engine.close()
+
+    def test_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=True)
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=2.5)
+
+    def test_trace_rejected(self):
+        backend = ShardedBackend(workers=1)
+        with pytest.raises(Exception):
+            backend.apply_exchanges(
+                np.ones((4, 1)), (MeanAggregate(),),
+                np.array([0]), np.array([1]), trace=object(),
+            )
+        backend.close()
+
+
+class TestBackendSpecs:
+    def test_make_backend_sharded_default_workers(self):
+        backend = make_backend("sharded")
+        assert isinstance(backend, ShardedBackend)
+        assert backend.workers >= 1
+        backend.close()
+
+    def test_make_backend_sharded_explicit_workers(self):
+        backend = make_backend("sharded:3")
+        assert backend.workers == 3
+        backend.close()
+
+    @pytest.mark.parametrize("spec", [
+        "gpu", "sharded:two", "sharded:0", "sharded:-1", "sharded:",
+        "vectorized:4", "auto",
+    ])
+    def test_bad_specs_raise_typed_error(self, spec):
+        with pytest.raises(BackendSpecError) as excinfo:
+            make_backend(spec)
+        error = excinfo.value
+        assert error.spec == spec
+        assert "sharded" in str(error)
+        assert error.valid_backends  # the full list rides on the error
+
+    def test_parse_accepts_auto_when_allowed(self):
+        assert parse_backend_spec("auto", allow_auto=True) == ("auto", None)
+        assert parse_backend_spec("sharded:8") == ("sharded", 8)
+
+    def test_scenario_validates_spec(self):
+        topology = CompleteTopology(16)
+        values = np.zeros(16)
+        with pytest.raises(BackendSpecError):
+            Scenario(topology, values, backend="sharded:nope")
+        # well-formed parameterized specs are accepted and preserved
+        scenario = Scenario(topology, values, backend="sharded:2")
+        assert scenario.resolve_backend() == "sharded:2"
+
+    def test_auto_never_resolves_to_sharded(self):
+        topology = CompleteTopology(16)
+        scenario = Scenario(topology, np.zeros(16), backend="auto")
+        assert scenario.resolve_backend() in ("reference", "vectorized")
+
+
+class TestCliBackendSpecs:
+    def test_unknown_backend_lists_valid_forms(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["scale", "--n", "64", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "valid backends" in stderr
+        assert "'sharded:<workers>'" in stderr
+
+    def test_malformed_sharded_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["figure3a", "--backend", "sharded:zero"])
+        assert excinfo.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_workers_requires_sharded(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["scale", "--n", "64", "--backend", "vectorized",
+                      "--workers", "2"])
+        assert excinfo.value.code == 2
+        assert "--workers requires --backend sharded" in (
+            capsys.readouterr().err
+        )
+
+    def test_workers_conflicts_with_parameterized_spec(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["scale", "--n", "64", "--backend", "sharded:2",
+                      "--workers", "2"])
+        assert excinfo.value.code == 2
+
+    def test_scale_runs_sharded_via_workers_flag(self, capsys):
+        assert cli_main(["scale", "--n", "300", "--cycles", "2",
+                         "--backend", "sharded", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded:2" in out
+
+    def test_scale_comparison_list(self, capsys):
+        assert cli_main(["scale", "--n", "300", "--cycles", "2",
+                         "--backend", "reference,sharded:1"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out and "sharded:1" in out
