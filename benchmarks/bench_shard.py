@@ -7,13 +7,14 @@ times the multi-process :class:`~repro.kernel.ShardedBackend` against
 the single-process vectorized backend on the same AggregationService
 workload (five concurrent aggregation instances, identical RNG draws)
 at N = 1 000 000, sweeping the worker count (1/2/4/8 by default), and
-asserts two things:
+asserts three things:
 
 * **Correctness at every scale.** The sharded matrix is bitwise-equal
-  to the vectorized one at N (all worker counts), and bitwise-equal to
-  the *sequential reference* execution at the paper's N = 100 000
-  across the full scenario surface: plain exchange cycles, pair mode
-  (GETPAIR_PM), churn, and the 20-regular CSR overlay.
+  to the vectorized one at N (all worker counts, pipelined *and*
+  barrier execution), and bitwise-equal to the *sequential reference*
+  execution at the paper's N = 100 000 across the full scenario
+  surface: plain exchange cycles, pair mode (GETPAIR_PM), churn, and
+  the 20-regular CSR overlay.
 * **Speedup on multi-core hosts.** Where the host has ≥ 4 cores and the
   run is at million-node scale, the best sharded configuration must be
   ≥ 2× faster than single-process vectorized (2× is the theoretical
@@ -21,16 +22,37 @@ asserts two things:
   floor). On smaller hosts the sweep is recorded but not gated — the
   workers would time-share cores; ``cpu_count`` lands in the archive
   so readers can tell which regime produced the numbers.
+* **No degenerate-host overhead.** ``sharded:auto`` (the CLI default)
+  must stay within :data:`OVERHEAD_CEILING_PCT` of vectorized when it
+  resolves to inline execution (single schedulable core, where a pool
+  can only add IPC on top of the same serial work). Both sides are
+  best-of-:data:`REPS` so the gate measures code, not scheduler noise.
+
+Each worker count also records the **pipelined-vs-barrier ablation**
+(``sharded_w{w}_barrier_seconds`` re-runs the identical workload with
+the per-segment W+1 barrier instead of the two-bank handoff) and the
+parent-side **phase breakdown**: ``plan`` (partner staging + greedy
+segmentation CPU), ``apply`` (parent-side segment application: inline
+mode, or barrier-mode sequential tails), and ``sync`` (time blocked on
+worker acknowledgements — the worker-apply latency the pipeline failed
+to hide).
+
+``--tenm`` runs the scale-up experiment instead: Figure 3(a)'s
+one-execution variance reduction and a Figure 4-style one-epoch size
+estimation at N = 10 000 000, gated by an explicit peak-RSS budget
+(:data:`TENM_RSS_BUDGET_BYTES`); results land in
+``BENCH_shard10m.json`` and accumulate in ``BENCH_history.jsonl``.
 
 Results land in ``benchmarks/out/BENCH_shard.json`` (paper-scale runs
 also refresh the git-tracked ``BENCH_shard.json`` at the repo root).
 Run directly (``python benchmarks/bench_shard.py [--n N] [--workers
-1 2 4 8]``) or through pytest.
+1 2 4 8] [--tenm]``) or through pytest.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 import time
@@ -42,12 +64,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.analysis import Table
+from repro.avg import GetPairRand, RATE_RAND, ValueVector, run_avg
+from repro.core import SizeEstimationConfig, SizeEstimationExperiment
 from repro.failures import OscillatingChurn
 from repro.kernel import GossipEngine, PairProtocolSpec, Scenario
 from repro.rng import make_rng
 from repro.topology import CompleteTopology, RandomRegularTopology
 
-from _common import emit, emit_json
+from _common import emit, emit_json, peak_rss_bytes
 from bench_scale import service_scenario
 
 N = 1_000_000
@@ -56,15 +80,62 @@ SEED = 23
 WORKER_SWEEP = (1, 2, 4, 8)
 EQUIV_N = 100_000  # reference-oracle equivalence scale
 SPEEDUP_FLOOR = 2.0  # acceptance target at N = 1M on multi-core hosts
+REPS = 3  # best-of reps for the gated vectorized/auto timings
+OVERHEAD_CEILING_PCT = 2.0  # sharded:auto (inline) vs vectorized
+
+TENM_N = 10_000_000
+TENM_EPOCH = 30  # one Figure 4 epoch at 10M
+#: peak-RSS ceiling for the N = 10M scale-up run. Measured ~0.73 GiB
+#: on the archive box (values vector + value matrix + pair bookkeeping
+#: + planner scratch, each O(N), ~80 MB per float64 array at 10M); the
+#: 1.5 GiB budget leaves allocator headroom while still catching a
+#: reintroduced O(N)-sized copy regression on the growth/adopt path.
+TENM_RSS_BUDGET_BYTES = int(1.5 * 1024**3)
+
+
+@contextlib.contextmanager
+def pipeline_mode(enabled: bool):
+    """Force pipelined or barrier execution for backends built inside
+    the block (the backend reads ``REPRO_SHARD_PIPELINE`` once, at
+    construction)."""
+    previous = os.environ.get("REPRO_SHARD_PIPELINE")
+    os.environ["REPRO_SHARD_PIPELINE"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SHARD_PIPELINE", None)
+        else:
+            os.environ["REPRO_SHARD_PIPELINE"] = previous
 
 
 def timed_engine_run(scenario, cycles):
-    """Wall-clock one engine run; returns (seconds, final matrix)."""
+    """Wall-clock one engine run; returns (seconds, final matrix,
+    backend probe). The probe carries the sharded backend's parent-side
+    phase breakdown and whether ``auto`` stayed inline (empty/None for
+    other backends)."""
     with GossipEngine(scenario) as engine:
         start = time.perf_counter()
         engine.run(cycles, record="end")
         elapsed = time.perf_counter() - start
-        return elapsed, engine.matrix
+        backend = engine._backend
+        probe = {
+            "phase_seconds": dict(getattr(backend, "phase_seconds", {})),
+            "inline": getattr(backend, "inline", None),
+        }
+        return elapsed, engine.matrix, probe
+
+
+def best_of(reps, build_scenario, cycles):
+    """Fastest of ``reps`` fresh engine runs — the gated comparisons
+    use best-of so one scheduler hiccup on a shared box cannot fail an
+    overhead gate that the code actually meets."""
+    best = None
+    for _ in range(reps):
+        seconds, matrix, probe = timed_engine_run(build_scenario(), cycles)
+        if best is None or seconds < best[0]:
+            best = (seconds, matrix, probe)
+    return best
 
 
 def equivalence_scenarios(n, seed=SEED):
@@ -99,15 +170,19 @@ def check_equivalence(n, workers=2, cycles=3):
     surface at ``n``; returns {family: bool}."""
     outcomes = {}
     for family, build in equivalence_scenarios(n).items():
-        _, ref_matrix = timed_engine_run(build("reference"), cycles)
-        _, sh_matrix = timed_engine_run(build(f"sharded:{workers}"), cycles)
+        _, ref_matrix, _ = timed_engine_run(build("reference"), cycles)
+        _, sh_matrix, _ = timed_engine_run(
+            build(f"sharded:{workers}"), cycles
+        )
         outcomes[family] = bool(np.array_equal(ref_matrix, sh_matrix))
     return outcomes
 
 
-def compute_shard(n=N, cycles=CYCLES, workers=WORKER_SWEEP, equiv_n=EQUIV_N):
-    vec_seconds, vec_matrix = timed_engine_run(
-        service_scenario(n, "vectorized", cycles=cycles), cycles
+def compute_shard(n=N, cycles=CYCLES, workers=WORKER_SWEEP, equiv_n=EQUIV_N,
+                  reps=REPS):
+    vec_seconds, vec_matrix, _ = best_of(
+        reps, lambda: service_scenario(n, "vectorized", cycles=cycles),
+        cycles,
     )
     series = {
         "n": n,
@@ -116,22 +191,57 @@ def compute_shard(n=N, cycles=CYCLES, workers=WORKER_SWEEP, equiv_n=EQUIV_N):
         "cpu_count": os.cpu_count(),
         "worker_sweep": ",".join(str(w) for w in workers),
         "equiv_n": equiv_n,
+        "reps": reps,
         "vectorized_seconds": vec_seconds,
     }
     best_seconds, best_workers = None, None
     all_bitwise = True
     for w in workers:
-        sh_seconds, sh_matrix = timed_engine_run(
-            service_scenario(n, f"sharded:{w}", cycles=cycles), cycles
+        sh_seconds, sh_matrix, probe = best_of(
+            reps,
+            lambda: service_scenario(n, f"sharded:{w}", cycles=cycles),
+            cycles,
         )
         series[f"sharded_w{w}_seconds"] = sh_seconds
+        for phase in ("plan", "apply", "sync"):
+            series[f"sharded_w{w}_{phase}_seconds"] = (
+                probe["phase_seconds"].get(phase, 0.0)
+            )
         equal = bool(np.array_equal(vec_matrix, sh_matrix))
         series[f"sharded_w{w}_bitwise_equal"] = equal
         all_bitwise = all_bitwise and equal
+        # ablation: identical workload, per-segment W+1 barrier instead
+        # of the two-bank pipelined handoff
+        with pipeline_mode(False):
+            barrier_seconds, barrier_matrix, _ = best_of(
+                reps,
+                lambda: service_scenario(n, f"sharded:{w}", cycles=cycles),
+                cycles,
+            )
+        series[f"sharded_w{w}_barrier_seconds"] = barrier_seconds
+        barrier_equal = bool(np.array_equal(vec_matrix, barrier_matrix))
+        series[f"sharded_w{w}_barrier_bitwise_equal"] = barrier_equal
+        all_bitwise = all_bitwise and barrier_equal
         if best_seconds is None or sh_seconds < best_seconds:
             best_seconds, best_workers = sh_seconds, w
     series["best_workers"] = best_workers
     series["speedup"] = vec_seconds / best_seconds
+    # the CLI-default configuration: `auto` resolves the worker count
+    # from scheduler affinity and falls back to inline execution on
+    # degenerate hosts/sizes — this is the "never slower than
+    # vectorized" acceptance surface, so it gets best-of treatment too
+    auto_seconds, auto_matrix, auto_probe = best_of(
+        reps, lambda: service_scenario(n, "sharded:auto", cycles=cycles),
+        cycles,
+    )
+    series["sharded_auto_seconds"] = auto_seconds
+    series["sharded_auto_inline"] = bool(auto_probe["inline"])
+    auto_equal = bool(np.array_equal(vec_matrix, auto_matrix))
+    series["sharded_auto_bitwise_equal"] = auto_equal
+    all_bitwise = all_bitwise and auto_equal
+    series["auto_overhead_pct"] = (
+        (auto_seconds - vec_seconds) / vec_seconds * 100.0
+    )
     series["bitwise_equal"] = all_bitwise
     # the ≥2x acceptance claim only makes sense where the workers have
     # core headroom over the floor (2x IS a 2-core host's ceiling), at
@@ -157,15 +267,42 @@ def render(series):
             f"{'' if series['timing_gated'] else ', not gated'})"
         ),
     )
-    table.add_row("vectorized", series["vectorized_seconds"], 1.0, True)
+    vec = series["vectorized_seconds"]
+    table.add_row("vectorized", vec, 1.0, True)
     for w in series["worker_sweep"].split(","):
         seconds = series[f"sharded_w{w}_seconds"]
         table.add_row(
-            f"sharded:{w}", seconds,
-            series["vectorized_seconds"] / seconds,
+            f"sharded:{w}", seconds, vec / seconds,
             series[f"sharded_w{w}_bitwise_equal"],
         )
+        barrier = series[f"sharded_w{w}_barrier_seconds"]
+        table.add_row(
+            f"sharded:{w} (barrier)", barrier, vec / barrier,
+            series[f"sharded_w{w}_barrier_bitwise_equal"],
+        )
+    mode = "inline" if series["sharded_auto_inline"] else "pool"
+    table.add_row(
+        f"sharded:auto ({mode})", series["sharded_auto_seconds"],
+        vec / series["sharded_auto_seconds"],
+        series["sharded_auto_bitwise_equal"],
+    )
     lines = [table.render(), ""]
+    lines.append(
+        "parent-side phase seconds (plan / apply / sync): "
+        + "; ".join(
+            f"w={w} "
+            f"{series[f'sharded_w{w}_plan_seconds']:.3f} / "
+            f"{series[f'sharded_w{w}_apply_seconds']:.3f} / "
+            f"{series[f'sharded_w{w}_sync_seconds']:.3f}"
+            for w in series["worker_sweep"].split(",")
+        )
+    )
+    lines.append(
+        f"sharded:auto overhead vs vectorized: "
+        f"{series['auto_overhead_pct']:+.2f}% "
+        f"(ceiling {OVERHEAD_CEILING_PCT:.0f}% when inline; "
+        f"best-of-{series['reps']})"
+    )
     lines.append(
         f"reference-oracle equivalence at N={series['equiv_n']}: "
         + ", ".join(
@@ -188,6 +325,93 @@ def check(series):
             f"{series['speedup']:.2f}x over vectorized at N={series['n']} "
             f"on {series['cpu_count']} cores (floor {SPEEDUP_FLOOR}x)"
         )
+    if series["sharded_auto_inline"] and series["n"] >= N:
+        # the degenerate-host guarantee: when `auto` stays in-process
+        # it must cost (almost) nothing over vectorized
+        assert series["auto_overhead_pct"] <= OVERHEAD_CEILING_PCT, (
+            f"sharded:auto (inline) is "
+            f"{series['auto_overhead_pct']:.2f}% slower than vectorized "
+            f"(ceiling {OVERHEAD_CEILING_PCT}%)"
+        )
+
+
+# -- the N = 10M scale-up run ---------------------------------------------
+
+
+def compute_tenm(n=TENM_N):
+    """Figure 3(a) + Figure 4 shapes at N = 10M under the peak-RSS
+    budget: one AVG execution's variance reduction (RAND selector,
+    complete topology) and one epoch of size estimation under
+    oscillating churn."""
+    series = {
+        "n": n,
+        "cpu_count": os.cpu_count(),
+        "rss_budget_bytes": TENM_RSS_BUDGET_BYTES,
+    }
+    vector = ValueVector.gaussian(n, seed=SEED)
+    topology = CompleteTopology(n)
+    start = time.perf_counter()
+    result = run_avg(vector, GetPairRand(topology), 1, seed=SEED)
+    series["figure3a_seconds"] = time.perf_counter() - start
+    series["figure3a_reduction"] = float(result.cycles[0].reduction)
+    del vector, result
+    config = SizeEstimationConfig(
+        cycles=TENM_EPOCH,
+        cycles_per_epoch=TENM_EPOCH,
+        initial_size=n,
+        expected_leaders=1.0,
+        seed=2004,
+    )
+    churn = OscillatingChurn(
+        n, n // 100, period=TENM_EPOCH // 2, fluctuation=n // 10_000
+    )
+    experiment = SizeEstimationExperiment(config, churn=churn)
+    start = time.perf_counter()
+    experiment.run()
+    series["figure4_seconds"] = time.perf_counter() - start
+    report = experiment.reports[-1]
+    series["figure4_estimate"] = float(report.estimate_mean)
+    series["figure4_size_at_start"] = float(report.size_at_start)
+    series["figure4_relative_error"] = float(report.relative_error)
+    return series
+
+
+def render_tenm(series):
+    budget_gib = series["rss_budget_bytes"] / 1024**3
+    rss = peak_rss_bytes().get("peak_rss_bytes", 0)
+    return "\n".join([
+        f"S3-10M: scale-up figures at N={series['n']} "
+        f"({series['cpu_count']} cpu(s), "
+        f"peak RSS {rss / 1024**3:.2f} GiB / budget {budget_gib:.1f} GiB)",
+        f"  figure 3(a): variance reduction after one AVG execution = "
+        f"{series['figure3a_reduction']:.4f} "
+        f"(theory 1/e = {RATE_RAND:.4f}) "
+        f"in {series['figure3a_seconds']:.1f}s",
+        f"  figure 4: one-epoch size estimate = "
+        f"{series['figure4_estimate']:.0f} "
+        f"(actual at epoch start {series['figure4_size_at_start']:.0f}, "
+        f"relative error {series['figure4_relative_error']:.4f}) "
+        f"in {series['figure4_seconds']:.1f}s",
+    ])
+
+
+def check_tenm(series):
+    assert (
+        abs(series["figure3a_reduction"] - RATE_RAND) / RATE_RAND < 0.12
+    ), (
+        f"10M variance reduction {series['figure3a_reduction']:.4f} is "
+        f"off the 1/e theory line"
+    )
+    assert series["figure4_relative_error"] < 0.1, (
+        f"10M size estimate is {series['figure4_relative_error']:.2%} off"
+    )
+    rss = peak_rss_bytes().get("peak_rss_bytes")
+    if rss is not None:
+        assert rss <= series["rss_budget_bytes"], (
+            f"N={series['n']} run peaked at {rss / 1024**3:.2f} GiB, "
+            f"over the {series['rss_budget_bytes'] / 1024**3:.1f} GiB "
+            f"budget"
+        )
 
 
 def test_shard(benchmark, capsys):
@@ -207,9 +431,20 @@ def main(argv=None) -> int:
     parser.add_argument("--equiv-n", type=int, default=EQUIV_N,
                         help="scale of the reference-oracle equivalence "
                              "checks")
+    parser.add_argument("--reps", type=int, default=REPS,
+                        help="best-of reps for the gated timings")
+    parser.add_argument("--tenm", action="store_true",
+                        help="run the N=10M scale-up figures instead of "
+                             "the worker sweep")
     args = parser.parse_args(argv)
+    if args.tenm:
+        series = compute_tenm()
+        emit("shard10m", render_tenm(series), None)
+        emit_json("shard10m", series)
+        check_tenm(series)
+        return 0
     series = compute_shard(
-        args.n, args.cycles, tuple(args.workers), args.equiv_n
+        args.n, args.cycles, tuple(args.workers), args.equiv_n, args.reps
     )
     emit("shard", render(series), None)
     # only acceptance-scale runs refresh the git-tracked archive

@@ -87,26 +87,56 @@ def _scale_backend_arg(value: str) -> str:
     return value
 
 
+def _workers_arg(value: str) -> object:
+    """argparse type for ``--workers``: a positive integer or
+    ``auto`` (resolve from CPU affinity, with the small-matrix inline
+    fallback)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_backend_options(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--backend", type=_backend_arg, default="auto", metavar="SPEC",
         help="kernel execution backend: auto, reference, vectorized, "
-             "sharded or sharded:<workers>",
+             "sharded, sharded:<workers> or sharded:auto",
     )
     command.add_argument(
-        "--workers", type=int, default=None, metavar="W",
-        help="worker count for --backend sharded (shorthand for "
-             "--backend sharded:<W>)",
+        "--workers", type=_workers_arg, default="auto", metavar="W",
+        help="worker count for --backend sharded: a positive integer "
+             "(shorthand for --backend sharded:<W>) or 'auto' (the "
+             "default: one worker per schedulable core, inline "
+             "in-process execution on small networks; ignored unless "
+             "the backend is sharded)",
     )
 
 
 def _resolve_backend(parser: argparse.ArgumentParser,
                      args: argparse.Namespace) -> None:
-    """Fold ``--workers`` into the backend spec in ``args.backend``."""
+    """Fold ``--workers`` into the backend spec in ``args.backend``.
+
+    The ``auto`` default only ever annotates a bare ``sharded``
+    backend (``sharded`` → ``sharded:auto``); for every other backend
+    it is inert, so ``--backend vectorized`` works without spelling
+    ``--workers`` out. Explicit integer counts keep strict validation.
+    """
     workers = getattr(args, "workers", None)
     if workers is None:
         return
     backend = args.backend
+    if workers == "auto":
+        if backend in _SCALE_ALIASES or "," in backend:
+            return
+        base, spec_workers = parse_backend_spec(backend, allow_auto=True)
+        if base == "sharded" and spec_workers is None:
+            args.backend = "sharded:auto"
+        return
     if backend in _SCALE_ALIASES or "," in backend:
         parser.error("--workers applies to a single sharded backend, "
                      "not a comparison list; use sharded:<W> instead")
@@ -322,8 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
              "or 'all' (adds sharded)",
     )
     scale_cmd.add_argument(
-        "--workers", type=int, default=None, metavar="W",
-        help="worker count for --backend sharded",
+        "--workers", type=_workers_arg, default="auto", metavar="W",
+        help="worker count for --backend sharded: a positive integer "
+             "or 'auto' (the default)",
     )
     scale_cmd.set_defaults(func=_cmd_scale)
     return parser

@@ -54,6 +54,36 @@ class SimulationError(ReproError):
     """
 
 
+class ShardPoolError(SimulationError):
+    """The sharded backend's worker pool failed, stalled or died.
+
+    Wraps the raw multiprocessing failures (a broken pipe to a dead
+    worker, a :class:`threading.BrokenBarrierError` from a barrier
+    timeout, a missing acknowledgement) in one typed error naming the
+    ``phase`` of the shard protocol that failed (``"command"``,
+    ``"remap"``, ``"apply"``, ``"barrier"``) and, where it is known,
+    the index of the ``worker`` that stalled or exited. The full
+    worker diagnostics (tracebacks drained from the command pipes)
+    ride in ``detail``.
+    """
+
+    def __init__(self, phase, *, worker=None, detail=""):
+        self.phase = phase
+        self.worker = worker
+        self.detail = detail
+        culprit = (
+            f"worker {worker} stalled or exited"
+            if worker is not None
+            else "a worker stalled or exited"
+        )
+        message = (
+            f"sharded worker pool failed during {phase}: {culprit}"
+        )
+        if detail:
+            message = f"{message}\n{detail}"
+        super().__init__(message)
+
+
 class ProtocolError(ReproError):
     """A protocol message or state transition violated the protocol rules."""
 

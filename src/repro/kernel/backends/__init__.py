@@ -8,21 +8,25 @@ Three implementations behind one contract (see :mod:`.base`):
   structure-of-arrays conflict-free batches.
 * :class:`ShardedBackend` — the multi-process scale path: the value
   matrix in :mod:`multiprocessing.shared_memory`, a persistent worker
-  pool applying parent-scheduled batch slices.
+  pool applying parent-published schedules, pipelined so the parent
+  plans cycle ``t+1`` while the workers apply cycle ``t``.
 
 All three are **bitwise identical** on the same engine inputs; the
-cross-backend equivalence suites assert it. Specs (``"sharded:4"``)
-are parsed by :func:`parse_backend_spec` / built by
-:func:`make_backend` in :mod:`.registry`.
+cross-backend equivalence suites assert it. Specs (``"sharded:4"``,
+``"sharded:auto"``) are parsed by :func:`parse_backend_spec` / built
+by :func:`make_backend` in :mod:`.registry`.
 """
 
 from .base import (
     GREEDY_TAIL,
     PAIR_CHUNK,
+    SEGMENT_BATCH,
+    SEGMENT_SEQUENTIAL,
     ExecutionBackend,
     apply_disjoint_batch,
     apply_sequential,
     first_occurrence_ready,
+    iter_greedy_segments,
     resolve_chunk,
 )
 from .reference import ReferenceBackend
@@ -32,7 +36,13 @@ from .registry import (
     make_backend,
     parse_backend_spec,
 )
-from .sharded import SHARD_CHUNK, SHARD_TAIL, ShardedBackend, default_workers
+from .sharded import (
+    SHARD_CHUNK,
+    SHARD_INLINE,
+    SHARD_TAIL,
+    ShardedBackend,
+    default_workers,
+)
 from .vectorized import VectorizedBackend
 
 __all__ = [
@@ -42,7 +52,10 @@ __all__ = [
     "GREEDY_TAIL",
     "PAIR_CHUNK",
     "ReferenceBackend",
+    "SEGMENT_BATCH",
+    "SEGMENT_SEQUENTIAL",
     "SHARD_CHUNK",
+    "SHARD_INLINE",
     "SHARD_TAIL",
     "ShardedBackend",
     "VectorizedBackend",
@@ -50,6 +63,7 @@ __all__ = [
     "apply_sequential",
     "default_workers",
     "first_occurrence_ready",
+    "iter_greedy_segments",
     "make_backend",
     "parse_backend_spec",
     "resolve_chunk",

@@ -54,6 +54,11 @@ PAIR_CHUNK = 4096
 #: bitwise-identical.
 GREEDY_TAIL = 48
 
+#: segment kinds yielded by :func:`iter_greedy_segments` (and used in
+#: the sharded backend's published schedules)
+SEGMENT_BATCH = 0
+SEGMENT_SEQUENTIAL = 1
+
 
 def resolve_chunk(
     chunk: Optional[int] = None,
@@ -115,6 +120,53 @@ def first_occurrence_ready(
     position[flat[::-1]] = slots[::-1]
     first = position[flat] == slots
     return first[0::2] & first[1::2]
+
+
+def iter_greedy_segments(
+    pending_i: np.ndarray,
+    pending_j: np.ndarray,
+    position: np.ndarray,
+    flat_buffer: np.ndarray,
+    slot_numbers: np.ndarray,
+    window: int,
+    tail: int,
+):
+    """The chunked order-preserving greedy segmentation as a pure plan.
+
+    Yields ``(kind, chunk_i, chunk_j)`` in execution order, where
+    ``kind`` is :data:`SEGMENT_BATCH` (the steps are node-disjoint and
+    may be applied through ``combine_array`` in any partition) or
+    :data:`SEGMENT_SEQUENTIAL` (a conflicted window tail that must run
+    one step at a time, in order). Executing the yielded segments in
+    order through :func:`apply_disjoint_batch` /
+    :func:`apply_sequential` is bitwise-identical to the sequential
+    reference execution — segmentation depends only on indices, never
+    on values, which is what lets the sharded backend *plan* a call
+    completely before (or while) the workers apply it.
+
+    ``position``, ``flat_buffer`` and ``slot_numbers`` are the
+    caller-owned scratch arrays of :func:`first_occurrence_ready`
+    (``flat_buffer``/``slot_numbers`` at least ``2 * window`` long).
+    """
+    for lo in range(0, len(pending_i), window):
+        chunk_i = pending_i[lo:lo + window]
+        chunk_j = pending_j[lo:lo + window]
+        while True:
+            size = len(chunk_i)
+            if size <= tail:
+                if size:
+                    yield SEGMENT_SEQUENTIAL, chunk_i, chunk_j
+                break
+            ready = first_occurrence_ready(
+                chunk_i, chunk_j, position, flat_buffer, slot_numbers
+            )
+            if ready.all():
+                yield SEGMENT_BATCH, chunk_i, chunk_j
+                break
+            yield SEGMENT_BATCH, chunk_i[ready], chunk_j[ready]
+            keep = ~ready
+            chunk_i = chunk_i[keep]
+            chunk_j = chunk_j[keep]
 
 
 def apply_disjoint_batch(
@@ -243,6 +295,45 @@ class ExecutionBackend(ABC):
         to the worker processes with no per-cycle copying.
         """
         return matrix
+
+    def grow_matrix(self, matrix: np.ndarray, rows: int) -> np.ndarray:
+        """Grow an adopted matrix to ``rows`` slots, preserving content.
+
+        The engine calls this on churn capacity growth instead of
+        vstacking into a heap array and re-adopting — that pair costs
+        two full matrix copies where one suffices. The contract: the
+        returned ``(rows, k)`` array holds ``matrix`` in its leading
+        rows, zeros below, is owned by the backend exactly like an
+        adopted matrix, and is produced with **at most one** copy of
+        the old content (the sharded backend copies the old shared
+        view directly into the freshly mapped larger segment; the
+        in-process default copies into a fresh heap array).
+        """
+        grown = np.zeros((rows, matrix.shape[1]), dtype=np.float64)
+        grown[:matrix.shape[0]] = matrix
+        return grown
+
+    def allocate_matrix(self, rows: int, k: int) -> np.ndarray:
+        """A zeroed backend-owned ``(rows, k)`` matrix (epoch rebuilds
+        that change the instance count start from zeros, so routing the
+        allocation through the backend avoids a heap array that
+        :meth:`adopt_matrix` would immediately copy and discard — the
+        sharded backend maps a fresh segment and returns its view,
+        zero-filled by the OS for free)."""
+        return np.zeros((rows, k), dtype=np.float64)
+
+    def sync(self) -> None:
+        """Block until every previously submitted apply call has fully
+        landed in the matrix.
+
+        In-process backends apply synchronously, so this is a no-op.
+        The pipelined sharded backend returns from ``apply_*`` with the
+        work still in flight on its workers (that overlap is the whole
+        point); the engine calls :meth:`sync` before every matrix
+        *read* (variance/mean observers, epoch finalize) and every
+        engine-side matrix *write* (churn admissions, epoch reseeds) so
+        no consumer ever sees a half-applied cycle.
+        """
 
     def release_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """Counterpart of :meth:`adopt_matrix` at shutdown: return a

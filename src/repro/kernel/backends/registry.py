@@ -8,8 +8,11 @@ A backend *spec* is the string a :class:`~repro.kernel.scenario.Scenario`
 * ``"reference"`` — the sequential semantic oracle;
 * ``"vectorized"`` — single-process numpy batched execution;
 * ``"sharded"`` — multi-process shared-memory execution with the
-  default worker count (one per core, capped at 8);
-* ``"sharded:<workers>"`` — same with an explicit worker count.
+  default worker count (one per schedulable core, capped at 8);
+* ``"sharded:<workers>"`` — same with an explicit worker count;
+* ``"sharded:auto"`` — affinity-resolved worker count plus the
+  small-matrix inline fallback (never slower than ``vectorized`` at
+  degenerate sizes).
 
 Malformed or unknown specs raise :class:`~repro.errors.BackendSpecError`
 carrying the list of valid forms, so callers (the CLI in particular)
@@ -18,7 +21,7 @@ can surface a complete message instead of a bare failure.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from ...errors import BackendSpecError
 from .base import ExecutionBackend
@@ -31,18 +34,19 @@ BACKEND_NAMES = ("auto", "reference", "vectorized", "sharded")
 
 #: every accepted spelling, for error messages
 BACKEND_FORMS = ("auto", "reference", "vectorized", "sharded",
-                 "sharded:<workers>")
+                 "sharded:<workers>", "sharded:auto")
 
 
 def parse_backend_spec(
     spec: str, *, allow_auto: bool = False
-) -> Tuple[str, Optional[int]]:
+) -> Tuple[str, Optional[Union[int, str]]]:
     """Parse and validate a backend spec into ``(base, workers)``.
 
-    ``workers`` is ``None`` except for an explicit ``sharded:<k>``.
-    Raises :class:`BackendSpecError` on anything else; ``allow_auto``
-    admits the ``"auto"`` placeholder (valid on a scenario, not for
-    direct instantiation).
+    ``workers`` is ``None`` except for an explicit ``sharded:<k>``
+    (an int) or ``sharded:auto`` (the string ``"auto"``). Raises
+    :class:`BackendSpecError` on anything else; ``allow_auto`` admits
+    the ``"auto"`` placeholder (valid on a scenario, not for direct
+    instantiation).
     """
     if not isinstance(spec, str):
         raise BackendSpecError(spec, valid=BACKEND_FORMS,
@@ -51,12 +55,15 @@ def parse_backend_spec(
     if base == "sharded":
         if not colon:
             return "sharded", None
+        if argument == "auto":
+            return "sharded", "auto"
         try:
             workers = int(argument)
         except ValueError:
             raise BackendSpecError(
                 spec, valid=BACKEND_FORMS,
-                reason=f"worker count {argument!r} is not an integer",
+                reason=f"worker count {argument!r} is not an integer "
+                       f"or 'auto'",
             ) from None
         if workers < 1:
             raise BackendSpecError(

@@ -7,51 +7,74 @@ memory-bound work that one core's load/store ports serialize.
 worker processes:
 
 * **Storage.** The value matrix lives in one
-  :mod:`multiprocessing.shared_memory` segment (plus two int32 step
-  buffers carved from the same segment). The engine hands its matrix
-  over through :meth:`~.base.ExecutionBackend.adopt_matrix` and works
-  on the shared view from then on, so churn admissions, epoch reseeds
-  and crash recycling are ordinary in-place writes that every worker
-  sees — zero per-cycle copying. Capacity growth re-adopts (the engine
-  already grows geometrically, so remaps are O(log) per run).
+  :mod:`multiprocessing.shared_memory` segment, followed by **two
+  banks** of int32 step buffers carved from the same segment. The
+  engine hands its matrix over through
+  :meth:`~.base.ExecutionBackend.adopt_matrix` and works on the shared
+  view from then on, so churn admissions, epoch reseeds and crash
+  recycling are ordinary in-place writes that every worker sees — zero
+  per-cycle copying. Capacity growth goes through
+  :meth:`~.base.ExecutionBackend.grow_matrix`: the old shared view is
+  copied **once**, directly into the freshly mapped larger segment
+  (the engine used to vstack into a heap array and re-adopt — two full
+  copies per growth); epoch rebuilds that change the instance count
+  allocate a zero-filled segment outright
+  (:meth:`~.base.ExecutionBackend.allocate_matrix`, no copy at all).
 
 * **Scheduling.** The parent computes the *schedule* for each call up
   front — the same chunked first-occurrence greedy segmentation the
-  vectorized backend uses, but as a pure plan: steps are rewritten into
-  execution order in the shared step buffers and described as a list of
-  ``(start, end, kind)`` segments. Conflict-free plan segments from
-  pair mode (PM's matching halves) become single batch segments with no
-  scan at all. Segmentation depends only on indices, never on values,
-  which is what makes plan-then-execute possible.
+  vectorized backend uses (:func:`~.base.iter_greedy_segments`), but
+  as a pure plan: steps are rewritten into execution order in one
+  bank's step buffers and described as a list of ``(start, end,
+  kind)`` segments. Conflict-free plan segments from pair mode (PM's
+  matching halves) become single batch segments with no scan at all.
+  Segmentation depends only on indices, never on values, which is what
+  makes plan-then-execute — and plan-*ahead* — possible.
 
-* **Execution.** Each *batch* segment is node-disjoint, so **any**
-  partition of its steps is race-free; every worker takes an equal
-  contiguous slice and applies it through the shared ``combine_array``
-  IEEE path, gathering and scattering both endpoints directly in the
-  shared segment (the degenerate boundary-batch exchange: the int32
-  index + float64 value blocks travel through shared memory instead of
-  a socket). A barrier between segments enforces the global order.
-  *Sequential* segments (the conflicted window tails) are applied by
-  the parent in step order while the workers hold at the barrier.
+* **Pipelined execution (the default).** ``apply_*`` publishes the
+  schedule to the workers and **returns immediately**: batch segments
+  are applied by the workers in equal contiguous slices, conflicted
+  sequential tails by worker 0, a workers-only barrier ordering the
+  segments, and each worker posts one ``applied`` acknowledgement per
+  schedule. The two banks turn that into a pipeline: while the workers
+  apply cycle ``t`` from bank A, the parent is already drawing cycle
+  ``t+1``'s randomness, running its mask pass and planning its
+  segmentation into bank B. The handoff is two-phase — before planning
+  into a bank the parent drains that bank's outstanding
+  acknowledgement, so a schedule is never overwritten while in flight,
+  and the engine calls :meth:`sync` before every matrix read or
+  engine-side write (observers, churn admissions, epoch reseeds) so no
+  consumer sees a half-applied cycle. Setting
+  ``REPRO_SHARD_PIPELINE=0`` (or ``pipelined=False``) falls back to
+  the synchronous mode — a ``workers + 1`` barrier per segment, the
+  parent applying sequential tails itself — which is what
+  ``bench_shard.py``'s ablation measures the pipeline against.
 
-  Slicing each batch — rather than assigning steps by the row-shard of
-  their initiator — is deliberate: exchange-mode initiators arrive
-  sorted, so a greedy window's initiators span one narrow row range
-  and row-ownership would hand the whole window to a single worker.
-  Contiguous slices keep that locality (a slice of a sorted window *is*
-  a row range) while balancing the work exactly.
-
-The result is **bitwise identical** to the sequential reference
-execution for the same reason the vectorized backend is: the schedule
-preserves per-node step order, disjoint steps commute exactly, and
-``combine_array`` matches scalar ``combine`` bit for bit.
+* **Bitwise equality.** The schedule preserves per-node step order,
+  disjoint steps commute exactly, and ``combine_array`` matches scalar
+  ``combine`` bit for bit, so the result is identical to the
+  sequential reference execution for any worker count in either mode;
+  pipelining changes *when* a planned segment is applied, never *what*
+  is applied. Slicing each batch — rather than assigning steps by the
+  row-shard of their initiator — is deliberate: exchange-mode
+  initiators arrive sorted, so a greedy window's initiators span one
+  narrow row range and row-ownership would hand the whole window to a
+  single worker; a contiguous slice of a sorted window *is* a row
+  range, keeping the locality while balancing the work exactly.
 
 Workers never draw randomness and never see the overlay (CSR partner
 draws stay engine-side), so backend swaps keep the engine's RNG stream
-untouched. The pool is spawned lazily on first use — fork where the
-platform has it, spawn otherwise — and torn down by
-:meth:`ShardedBackend.close` (also hooked to garbage collection, and
-workers are daemonic as a last resort).
+untouched. ``workers="auto"`` resolves one worker per schedulable core
+(``os.sched_getaffinity``, capped at 8) and falls back to *inline*
+in-process execution below :data:`SHARD_INLINE` rows — at degenerate
+sizes the pool's spawn and IPC costs cannot be amortized, so ``auto``
+is never slower than the vectorized backend there. The pool is spawned
+lazily on first use — fork where the platform has it, spawn otherwise
+— and torn down by :meth:`ShardedBackend.close` (also hooked to
+garbage collection, and workers are daemonic as a last resort). Pool
+failures — a worker killed mid-segment, a barrier timeout, a missing
+acknowledgement — surface as :class:`repro.errors.ShardPoolError`
+naming the stalled worker and protocol phase.
 """
 
 from __future__ import annotations
@@ -60,22 +83,27 @@ import multiprocessing
 import os
 import pickle
 import sys
+import time
 import traceback
 import weakref
+from collections import deque
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ...core.aggregates import AggregateFunction
-from ...errors import ConfigurationError, SimulationError
+from ...errors import ConfigurationError, ShardPoolError, SimulationError
 from .base import (
+    SEGMENT_BATCH,
+    SEGMENT_SEQUENTIAL,
     ExecutionBackend,
     apply_disjoint_batch,
     apply_sequential,
-    first_occurrence_ready,
+    iter_greedy_segments,
     resolve_chunk,
 )
+from .vectorized import VectorizedBackend
 
 #: default greedy-segmentation window for the sharded backend. Larger
 #: than the in-process :data:`~.base.PAIR_CHUNK`: every peeled batch
@@ -89,8 +117,15 @@ SHARD_CHUNK = 65536
 #: barrier round-trip on top of the first-occurrence scan.
 SHARD_TAIL = 192
 
-#: default seconds a barrier wait may block before the pool is declared
-#: dead (override via ``REPRO_SHARD_TIMEOUT``)
+#: below this many matrix rows, ``workers="auto"`` skips the pool
+#: entirely and applies in-process (the vectorized path): a worker
+#: pool cannot amortize its spawn/IPC costs on sub-cache matrices, so
+#: ``sharded:auto`` is never slower than ``vectorized`` at degenerate
+#: sizes. Tunable via ``REPRO_SHARD_INLINE``.
+SHARD_INLINE = 65536
+
+#: default seconds a barrier/acknowledgement wait may block before the
+#: pool is declared dead (override via ``REPRO_SHARD_TIMEOUT``)
 _DEFAULT_TIMEOUT = 120.0
 
 
@@ -113,35 +148,85 @@ def _barrier_timeout() -> float:
         )
     return value
 
-#: segment kinds in a schedule
-_BATCH = 0
-_SEQUENTIAL = 1
+
+def _pipelined_default() -> bool:
+    """The pipeline mode flag from ``REPRO_SHARD_PIPELINE`` (default
+    on; ``0``/``false``/``no`` select the synchronous barrier mode the
+    ablation benchmark measures against)."""
+    env = os.environ.get("REPRO_SHARD_PIPELINE", "").strip().lower()
+    if not env:
+        return True
+    if env in ("1", "true", "yes", "on"):
+        return True
+    if env in ("0", "false", "no", "off"):
+        return False
+    raise ConfigurationError(
+        f"REPRO_SHARD_PIPELINE must be a boolean flag (0/1), got {env!r}"
+    )
+
+
+def _inline_threshold() -> int:
+    """The ``workers='auto'`` inline-fallback row threshold
+    (``REPRO_SHARD_INLINE``, default :data:`SHARD_INLINE`)."""
+    env = os.environ.get("REPRO_SHARD_INLINE", "").strip()
+    if not env:
+        return SHARD_INLINE
+    try:
+        value = int(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SHARD_INLINE must be a non-negative integer, "
+            f"got {env!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"REPRO_SHARD_INLINE must be non-negative, got {value}"
+        )
+    return value
+
+
+#: segment kinds in a schedule (shared with the greedy planner)
+_BATCH = SEGMENT_BATCH
+_SEQUENTIAL = SEGMENT_SEQUENTIAL
 
 Segment = Tuple[int, int, int]
 
 
 def default_workers() -> int:
-    """Worker count when none is requested: one per core, capped — the
-    exchange path saturates memory bandwidth before it runs out of
-    arithmetic, so very wide pools only add barrier traffic."""
-    return max(1, min(8, os.cpu_count() or 1))
+    """Worker count when none is requested: one per *schedulable* core
+    (cpusets/affinity masks in containers often expose fewer cores
+    than ``os.cpu_count`` reports), capped — the exchange path
+    saturates memory bandwidth before it runs out of arithmetic, so
+    very wide pools only add barrier traffic."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(8, cores))
 
 
 def _carve(
     shm: shared_memory.SharedMemory, rows: int, k: int, steps_cap: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The three views carved from one shared segment: the ``(rows, k)``
-    float64 value matrix followed by two int32 step buffers."""
+) -> Tuple[np.ndarray, Tuple[Tuple[np.ndarray, np.ndarray], ...]]:
+    """The views carved from one shared segment: the ``(rows, k)``
+    float64 value matrix followed by two banks of int32 step buffers
+    (``(step_i, step_j)`` per bank). Bank B exists so the parent can
+    plan schedule ``t+1`` while the workers apply ``t`` from bank A;
+    the untouched bank costs address space, not resident pages."""
     matrix_bytes = rows * k * 8
     view = np.ndarray((rows, k), dtype=np.float64, buffer=shm.buf)
-    step_i = np.ndarray(
-        (steps_cap,), dtype=np.int32, buffer=shm.buf, offset=matrix_bytes
-    )
-    step_j = np.ndarray(
-        (steps_cap,), dtype=np.int32, buffer=shm.buf,
-        offset=matrix_bytes + steps_cap * 4,
-    )
-    return view, step_i, step_j
+    banks = []
+    for bank in range(2):
+        base = matrix_bytes + bank * steps_cap * 8
+        step_i = np.ndarray(
+            (steps_cap,), dtype=np.int32, buffer=shm.buf, offset=base
+        )
+        step_j = np.ndarray(
+            (steps_cap,), dtype=np.int32, buffer=shm.buf,
+            offset=base + steps_cap * 4,
+        )
+        banks.append((step_i, step_j))
+    return view, tuple(banks)
 
 
 def _worker_slice(start: int, end: int, index: int, workers: int) -> slice:
@@ -153,11 +238,20 @@ def _worker_slice(start: int, end: int, index: int, workers: int) -> slice:
 
 
 def _worker_main(
-    conn, barrier, index: int, workers: int, timeout: float
+    conn, barrier, index: int, workers: int, timeout: float,
+    pipelined: bool,
 ) -> None:
-    """Worker loop: remap / functions / apply / quit commands."""
+    """Worker loop: remap / functions / apply / quit commands.
+
+    In pipelined mode the barrier has ``workers`` parties (the parent
+    is off planning the next schedule), worker 0 applies the
+    conflicted sequential tails, and each worker acknowledges every
+    completed schedule with ``("applied", bank)``. In barrier mode the
+    parent is the extra barrier party and applies the tails itself.
+    """
     shm: Optional[shared_memory.SharedMemory] = None
-    view = step_i = step_j = None
+    view = None
+    banks: Tuple = ()
     functions: Tuple[AggregateFunction, ...] = ()
     try:
         while True:
@@ -167,7 +261,8 @@ def _worker_main(
                 break
             if command == "remap":
                 _, name, rows, k, steps_cap = message
-                view = step_i = step_j = None
+                view = None
+                banks = ()
                 if shm is not None:
                     shm.close()
                 # NOTE: attaching registers the name with the resource
@@ -175,7 +270,7 @@ def _worker_main(
                 # share one tracker process, whose name set dedups the
                 # double registration; the parent's unlink clears it.
                 shm = shared_memory.SharedMemory(name=name)
-                view, step_i, step_j = _carve(shm, rows, k, steps_cap)
+                view, banks = _carve(shm, rows, k, steps_cap)
                 # the parent keeps the *previous* segment linked until
                 # every worker has confirmed the switch (attaching a
                 # name that a faster remap already unlinked would fail)
@@ -183,13 +278,25 @@ def _worker_main(
             elif command == "functions":
                 functions = message[1]
             elif command == "apply":
-                for start, end, kind in message[1]:
+                _, bank, segments = message
+                step_i, step_j = banks[bank]
+                for start, end, kind in segments:
                     if kind == _BATCH:
                         sl = _worker_slice(start, end, index, workers)
                         apply_disjoint_batch(
                             view, functions, step_i[sl], step_j[sl]
                         )
+                    elif pipelined and index == 0:
+                        # conflicted tails run in step order on one
+                        # applier; in pipelined mode that is worker 0
+                        # (the parent is busy planning the next cycle)
+                        apply_sequential(
+                            view, functions,
+                            step_i[start:end], step_j[start:end],
+                        )
                     barrier.wait(timeout)
+                if pipelined:
+                    conn.send(("applied", bank))
     except (EOFError, KeyboardInterrupt):
         # the parent closed the command pipe (shutdown) — exit quietly
         pass
@@ -200,7 +307,8 @@ def _worker_main(
             pass
         barrier.abort()
     finally:
-        view = step_i = step_j = None
+        view = None
+        banks = ()
         if shm is not None:
             shm.close()
 
@@ -257,9 +365,15 @@ class ShardedBackend(ExecutionBackend):
     name = "sharded"
 
     def __init__(
-        self, workers: Optional[int] = None, *, chunk: Optional[int] = None
+        self,
+        workers: Optional[Union[int, str]] = None,
+        *,
+        chunk: Optional[int] = None,
+        pipelined: Optional[bool] = None,
+        inline_below: Optional[int] = None,
     ):
-        if workers is None:
+        self._auto = workers == "auto"
+        if workers is None or self._auto:
             workers = default_workers()
         if (
             isinstance(workers, bool)
@@ -267,14 +381,30 @@ class ShardedBackend(ExecutionBackend):
             or workers < 1
         ):
             raise ConfigurationError(
-                f"sharded worker count must be a positive integer, "
-                f"got {workers!r}"
+                f"sharded worker count must be a positive integer or "
+                f"'auto', got {workers!r}"
             )
         self.workers = int(workers)
         self._chunk = resolve_chunk(
             chunk, env_var="REPRO_SHARD_CHUNK", default=SHARD_CHUNK
         )
         self._timeout = _barrier_timeout()
+        self._pipelined = (
+            _pipelined_default() if pipelined is None else bool(pipelined)
+        )
+        self._inline_below = (
+            _inline_threshold() if inline_below is None else int(inline_below)
+        )
+        #: parent-side wall-clock breakdown, accumulated across calls:
+        #: ``plan`` = segmentation + bank writes + publish, ``apply`` =
+        #: parent-applied work (sequential tails in barrier mode,
+        #: inline fallback), ``sync`` = time blocked on worker barriers
+        #: and acknowledgements. ``bench_shard.py`` archives these.
+        self.phase_seconds = {"plan": 0.0, "apply": 0.0, "sync": 0.0}
+        #: full value-matrix copies performed by adopt/grow hand-offs —
+        #: the churn-growth regression test pins this to exactly one
+        #: copy per growth (it used to be two: engine vstack + adopt)
+        self.adopt_copies = 0
         # fork only where it is actually safe: macOS has fork available
         # but CPython switched its default to spawn for a reason (forked
         # children inherit Objective-C/Accelerate state and can abort in
@@ -304,11 +434,17 @@ class ShardedBackend(ExecutionBackend):
         self._shm_holder: List[shared_memory.SharedMemory] = []
         self._parked: List[shared_memory.SharedMemory] = []
         self._view: Optional[np.ndarray] = None
-        self._step_i: Optional[np.ndarray] = None
-        self._step_j: Optional[np.ndarray] = None
+        self._banks: Tuple = ()
         self._steps_cap = 0
         self._adopted = False
+        self._inline = False
+        self._vector: Optional[VectorizedBackend] = None
         self._sent_functions: Optional[Tuple] = None
+        # pipelined-mode state: which bank the next schedule plans
+        # into, and the banks of schedules still in flight (FIFO; at
+        # most two — one per bank)
+        self._next_bank = 0
+        self._inflight: Deque[int] = deque()
         # planner scratch (parent-side greedy segmentation)
         self._position: Optional[np.ndarray] = None
         self._flat: Optional[np.ndarray] = None
@@ -322,13 +458,28 @@ class ShardedBackend(ExecutionBackend):
 
     @property
     def active_workers(self) -> int:
-        """Live worker processes (0 before first use / after close)."""
+        """Live worker processes (0 before first use / after close,
+        and always 0 in the ``auto`` inline fallback)."""
         return sum(1 for proc in self._procs if proc.is_alive())
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether apply calls overlap worker execution with parent
+        planning (the default) or barrier every segment."""
+        return self._pipelined
+
+    @property
+    def inline(self) -> bool:
+        """Whether the ``auto`` small-matrix fallback is active (the
+        adopted matrix stayed in-process; no pool, no segment)."""
+        return self._inline
 
     def release_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """A heap copy of the shared view, safe to read after
-        :meth:`close` (see the base-class contract)."""
+        :meth:`close` (see the base-class contract). Drains any
+        in-flight schedules first so the copy is the final state."""
         if matrix is self._view:
+            self.sync()
             return matrix.copy()
         return matrix
 
@@ -339,11 +490,21 @@ class ShardedBackend(ExecutionBackend):
         copy from :meth:`release_matrix` (engines do this in
         ``GossipEngine.close``), not a view into the segment.
         """
-        self._view = self._step_i = self._step_j = None
+        try:
+            self.sync()
+        except ShardPoolError:
+            # the pool died with work in flight; _abort already parked
+            # the segments — proceed with the teardown below
+            pass
+        self._view = None
+        self._banks = ()
         self._steps_cap = 0
         self._adopted = False
+        self._inline = False
         self._sent_functions = None
         self._barrier = None
+        self._inflight.clear()
+        self._next_bank = 0
         if self._finalizer.alive:
             self._finalizer()
         self._finalizer = weakref.finalize(
@@ -363,7 +524,32 @@ class ShardedBackend(ExecutionBackend):
         self._shm_holder.clear()
         self._barrier = None
         self._sent_functions = None
+        self._inflight.clear()
         return detail
+
+    def _fail(self, phase: str, worker: Optional[int], failure: str):
+        """Abort the pool and raise the typed error naming the stalled
+        worker and the protocol phase that broke."""
+        prefix = "" if worker is None else f"worker {worker}: {failure}\n"
+        detail = f"{prefix}{self._abort()}"
+        raise ShardPoolError(phase, worker=worker, detail=detail)
+
+    def _first_dead_worker(self) -> Optional[int]:
+        for index, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                return index
+        return None
+
+    def _inline_eligible(self, rows: int) -> bool:
+        """Whether ``auto`` should apply in-process for a matrix of
+        ``rows``: below the inline threshold the pool cannot amortize
+        its IPC, and with a single schedulable core (``auto`` resolved
+        to one worker) it cannot win at *any* size — there is no
+        second core to overlap with, so the pool would only add IPC
+        and scheduling overhead on top of the same serial work."""
+        return self._auto and (
+            rows < self._inline_below or self.workers == 1
+        )
 
     def _ensure_pool(self) -> None:
         if self._procs:
@@ -379,13 +565,17 @@ class ShardedBackend(ExecutionBackend):
             resource_tracker.ensure_running()
         except Exception:
             pass
-        self._barrier = self._ctx.Barrier(self.workers + 1)
+        # pipelined: the workers order segments among themselves and
+        # the parent stays out of the execution path entirely; barrier
+        # mode: the parent is the extra party and applies the tails
+        parties = self.workers + (0 if self._pipelined else 1)
+        self._barrier = self._ctx.Barrier(parties)
         for index in range(self.workers):
             parent_conn, child_conn = self._ctx.Pipe()
             proc = self._ctx.Process(
                 target=_worker_main,
                 args=(child_conn, self._barrier, index, self.workers,
-                      self._timeout),
+                      self._timeout, self._pipelined),
                 daemon=True,
                 name=f"repro-shard-{index}",
             )
@@ -402,10 +592,8 @@ class ShardedBackend(ExecutionBackend):
             # a dead worker (OOM kill, crash) broke the pipe: surface
             # its diagnostics and stop the survivors — they would
             # otherwise sit blocked on recv() until close/GC
-            detail = self._abort()
-            raise SimulationError(
-                f"sharded backend lost a worker ({error}):\n{detail}"
-            ) from error
+            self._fail("command", self._first_dead_worker(),
+                       f"pipe broke ({error})")
         except (pickle.PicklingError, AttributeError, TypeError,
                 ValueError) as error:
             raise SimulationError(
@@ -430,22 +618,29 @@ class ShardedBackend(ExecutionBackend):
         return "\n".join(reports) or "no worker diagnostics available"
 
     def _wait(self) -> None:
+        """Barrier-mode segment wait (the parent is a barrier party)."""
+        started = time.perf_counter()
         try:
             self._barrier.wait(self._timeout)
         except Exception:
-            detail = self._abort()
-            raise SimulationError(
-                f"sharded backend worker pool failed:\n{detail}"
-            ) from None
+            self.phase_seconds["sync"] += time.perf_counter() - started
+            self._fail("barrier", self._first_dead_worker(),
+                       "barrier broken")
+        self.phase_seconds["sync"] += time.perf_counter() - started
 
-    def _await_acks(self, expected: str) -> None:
+    def _await_acks(self, expected: str, phase: str,
+                    payload=None) -> None:
         """One confirmation message from every worker, in pool order."""
         for index, pipe in enumerate(self._pipes):
             failure = None
             try:
                 if pipe.poll(self._timeout):
                     message = pipe.recv()
-                    if message and message[0] == expected:
+                    if (
+                        message
+                        and message[0] == expected
+                        and (payload is None or message[1] == payload)
+                    ):
                         continue
                     failure = (
                         message[1] if message and message[0] == "error"
@@ -455,23 +650,47 @@ class ShardedBackend(ExecutionBackend):
                     failure = f"no {expected!r} reply within timeout"
             except (EOFError, OSError):
                 failure = "exited"
-            detail = f"worker {index}: {failure}\n{self._abort()}"
-            raise SimulationError(
-                f"sharded backend worker pool failed:\n{detail}"
-            )
+            self._fail(phase, index, failure)
+
+    def _drain_oldest(self) -> None:
+        """Receive the ``applied`` acknowledgement set for the oldest
+        in-flight schedule."""
+        bank = self._inflight[0]
+        self._await_acks("applied", "apply", payload=bank)
+        self._inflight.popleft()
+
+    def _drain_bank(self, bank: int) -> None:
+        """Phase one of the bank handoff: the parent may only plan
+        into a bank whose previous schedule has been acknowledged."""
+        while bank in self._inflight:
+            self._drain_oldest()
+
+    def sync(self) -> None:
+        """Block until every published schedule has been applied (the
+        engine calls this before matrix reads and engine-side writes;
+        a no-op for barrier mode, inline mode and idle pools)."""
+        if not self._inflight:
+            return
+        started = time.perf_counter()
+        try:
+            while self._inflight:
+                self._drain_oldest()
+        finally:
+            self.phase_seconds["sync"] += time.perf_counter() - started
 
     # -- shared-memory mapping --------------------------------------------
 
     def _map(self, rows: int, k: int, steps_cap: int) -> None:
         """(Re)create the shared segment and switch the pool over."""
+        self.sync()
         self._ensure_pool()
-        nbytes = max(rows * k * 8 + steps_cap * 8, 1)
+        nbytes = max(rows * k * 8 + steps_cap * 16, 1)
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
-        view, step_i, step_j = _carve(shm, rows, k, steps_cap)
+        view, banks = _carve(shm, rows, k, steps_cap)
         previous = list(self._shm_holder)
         self._shm_holder.clear()
         self._shm_holder.append(shm)
-        self._view, self._step_i, self._step_j = view, step_i, step_j
+        self._view, self._banks = view, banks
         self._steps_cap = steps_cap
         # park the previous generation *before* the remap round-trip so
         # a failure mid-remap leaves it reachable for close()/_shutdown
@@ -482,7 +701,7 @@ class ShardedBackend(ExecutionBackend):
         # wait until every worker confirms it attached the new segment:
         # unlinking the previous name before a slow worker processed an
         # *earlier* remap command would make that attach fail
-        self._await_acks("remapped")
+        self._await_acks("remapped", "remap", payload=shm.name)
         # grandparent generations can go: the engine re-adopted the
         # *previous* segment's replacement synchronously, so no live
         # view of anything older can remain (keeping them all would
@@ -500,8 +719,47 @@ class ShardedBackend(ExecutionBackend):
     def adopt_matrix(self, matrix: np.ndarray) -> np.ndarray:
         source = np.ascontiguousarray(matrix, dtype=np.float64)
         rows, k = source.shape
+        if self._inline_eligible(rows) and not self._procs:
+            # degenerate case: stay in-process (no segment, no pool);
+            # a later growth past the threshold promotes to the pool
+            self._inline = True
+            self._adopted = True
+            return source
+        self._inline = False
         self._map(rows, k, steps_cap=max(rows, 1))
         self._view[:] = source
+        self.adopt_copies += 1
+        self._adopted = True
+        return self._view
+
+    def grow_matrix(self, matrix: np.ndarray, rows: int) -> np.ndarray:
+        """Single-copy capacity growth: map the larger segment, copy
+        the old (shared or inline) matrix straight into it. The old
+        segment is parked by :meth:`_map`, so its view stays readable
+        for the copy; the grown tail is the fresh segment's zero
+        pages — no zero-fill pass, no intermediate heap array."""
+        k = matrix.shape[1]
+        if self._inline and self._inline_eligible(rows):
+            # still degenerate: grow on the heap (one copy)
+            self.adopt_copies += 1
+            return super().grow_matrix(matrix, rows)
+        old_rows = min(matrix.shape[0], rows)
+        self._map(rows, k, steps_cap=max(rows, 1))
+        self._view[:old_rows] = matrix[:old_rows]
+        self.adopt_copies += 1
+        self._inline = False
+        self._adopted = True
+        return self._view
+
+    def allocate_matrix(self, rows: int, k: int) -> np.ndarray:
+        """Zero-copy epoch rebuild: a fresh segment's pages are
+        zero-filled by the OS, so the rebuilt matrix costs no copy and
+        no zero-fill pass at all (the heap-zeros-then-adopt path wrote
+        every byte twice)."""
+        if self._inline and self._inline_eligible(rows):
+            return super().allocate_matrix(rows, k)
+        self._map(rows, k, steps_cap=max(rows, 1))
+        self._inline = False
         self._adopted = True
         return self._view
 
@@ -513,6 +771,11 @@ class ShardedBackend(ExecutionBackend):
         payload = tuple(functions)
         self._broadcast(("functions", payload))
         self._sent_functions = functions
+
+    def _ensure_vector(self) -> VectorizedBackend:
+        if self._vector is None:
+            self._vector = VectorizedBackend(chunk=self._chunk)
+        return self._vector
 
     # -- the backend contract ---------------------------------------------
 
@@ -531,6 +794,15 @@ class ShardedBackend(ExecutionBackend):
                 "the sharded backend does not support exchange tracing; "
                 "use backend='reference'"
             )
+        if self._inline or (
+            not self._adopted and self._inline_eligible(matrix.shape[0])
+        ):
+            started = time.perf_counter()
+            self._ensure_vector().apply_exchanges(
+                matrix, functions, exch_i, exch_j, cycle=cycle
+            )
+            self.phase_seconds["apply"] += time.perf_counter() - started
+            return
         self._apply(matrix, functions, exch_i, exch_j, None, self._chunk)
 
     def apply_pairs(
@@ -550,10 +822,21 @@ class ShardedBackend(ExecutionBackend):
                 "the sharded backend does not support exchange tracing; "
                 "use backend='reference'"
             )
+        if self._inline or (
+            not self._adopted and self._inline_eligible(matrix.shape[0])
+        ):
+            started = time.perf_counter()
+            self._ensure_vector().apply_pairs(
+                matrix, functions, pairs_i, pairs_j,
+                plan=plan, chunk=chunk, cycle=cycle,
+            )
+            self.phase_seconds["apply"] += time.perf_counter() - started
+            return
         window = self._chunk if chunk is None else resolve_chunk(chunk)
         self._apply(matrix, functions, pairs_i, pairs_j, plan, window)
 
     def _apply(self, matrix, functions, raw_i, raw_j, plan, window) -> None:
+        planned = time.perf_counter()
         pending_i = np.ascontiguousarray(raw_i, dtype=np.int32)
         pending_j = np.ascontiguousarray(raw_j, dtype=np.int32)
         m = len(pending_i)
@@ -578,6 +861,7 @@ class ShardedBackend(ExecutionBackend):
                 or self._steps_cap < m
             ):
                 self._map(rows, k, steps_cap=max(rows, m))
+            self.sync()
             self._view[:] = matrix
         elif m > self._steps_cap:  # pragma: no cover - engine sizes it
             # remapping here would desync the engine (its matrix still
@@ -591,13 +875,40 @@ class ShardedBackend(ExecutionBackend):
                 f"steps than rows"
             )
         self._ensure_functions(functions)
-        segments = self._schedule(pending_i, pending_j, plan, window)
-        self._broadcast(("apply", segments))
+        bank = self._next_bank
+        # two-phase bank handoff, phase one: this bank's previous
+        # schedule must be acknowledged before its buffers are reused
+        # (phase two is the publish below). The *other* bank may still
+        # be in flight — that is the overlap. Time the wait as "sync",
+        # not "plan": it is worker-apply latency, not parent CPU.
+        drain_started = time.perf_counter()
+        self._drain_bank(bank)
+        drain_seconds = time.perf_counter() - drain_started
+        self.phase_seconds["sync"] += drain_seconds
+        segments = self._schedule(pending_i, pending_j, plan, window, bank)
+        self.phase_seconds["plan"] += (
+            time.perf_counter() - planned - drain_seconds
+        )
+        self._broadcast(("apply", bank, segments))
+        if self._pipelined:
+            self._inflight.append(bank)
+            self._next_bank = bank ^ 1
+            if borrowed:
+                # direct use has no engine to call sync() before its
+                # reads — drain in-call and hand the result back
+                self.sync()
+                np.copyto(matrix, self._view)
+            return
+        step_i, step_j = self._banks[bank]
         for start, end, kind in segments:
             if kind == _SEQUENTIAL:
+                applied = time.perf_counter()
                 apply_sequential(
                     self._view, functions,
-                    self._step_i[start:end], self._step_j[start:end],
+                    step_i[start:end], step_j[start:end],
+                )
+                self.phase_seconds["apply"] += (
+                    time.perf_counter() - applied
                 )
             self._wait()
         if borrowed:
@@ -619,15 +930,18 @@ class ShardedBackend(ExecutionBackend):
         pending_j: np.ndarray,
         plan: Optional[Tuple[Tuple[int, int, bool], ...]],
         window: int,
+        bank: int,
     ) -> List[Segment]:
-        """Rewrite the step sequence into execution order in the shared
-        step buffers and describe it as ``(start, end, kind)`` segments.
+        """Rewrite the step sequence into execution order in ``bank``'s
+        shared step buffers and describe it as ``(start, end, kind)``
+        segments.
 
         The order is exactly the one the in-process greedy execution
-        would apply, so the result is bitwise-equal to the sequential
-        oracle; only *who* applies each stretch differs.
+        applies (:func:`~.base.iter_greedy_segments`), so the result is
+        bitwise-equal to the sequential oracle; only *who* applies each
+        stretch — and, pipelined, *when* — differs.
         """
-        out_i, out_j = self._step_i, self._step_j
+        out_i, out_j = self._banks[bank]
         position, flat, slots = self._planner_scratch(
             self._view.shape[0], window
         )
@@ -645,40 +959,17 @@ class ShardedBackend(ExecutionBackend):
                 segments.append((cursor, cursor + size, _BATCH))
                 cursor += size
                 continue
-            for lo in range(start, end, window):
-                hi = min(lo + window, end)
-                chunk_i = pending_i[lo:hi]
-                chunk_j = pending_j[lo:hi]
-                while True:
-                    size = len(chunk_i)
-                    if size <= SHARD_TAIL:
-                        if size:
-                            out_i[cursor:cursor + size] = chunk_i
-                            out_j[cursor:cursor + size] = chunk_j
-                            segments.append(
-                                (cursor, cursor + size, _SEQUENTIAL)
-                            )
-                            cursor += size
-                        break
-                    ready = first_occurrence_ready(
-                        chunk_i, chunk_j, position, flat, slots
-                    )
-                    if ready.all():
-                        out_i[cursor:cursor + size] = chunk_i
-                        out_j[cursor:cursor + size] = chunk_j
-                        segments.append((cursor, cursor + size, _BATCH))
-                        cursor += size
-                        break
-                    batch_i = chunk_i[ready]
-                    batch_size = len(batch_i)
-                    out_i[cursor:cursor + batch_size] = batch_i
-                    out_j[cursor:cursor + batch_size] = chunk_j[ready]
-                    segments.append((cursor, cursor + batch_size, _BATCH))
-                    cursor += batch_size
-                    keep = ~ready
-                    chunk_i = chunk_i[keep]
-                    chunk_j = chunk_j[keep]
+            for kind, chunk_i, chunk_j in iter_greedy_segments(
+                pending_i[start:end], pending_j[start:end],
+                position, flat, slots, window, SHARD_TAIL,
+            ):
+                size = len(chunk_i)
+                out_i[cursor:cursor + size] = chunk_i
+                out_j[cursor:cursor + size] = chunk_j
+                segments.append((cursor, cursor + size, kind))
+                cursor += size
         return segments
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ShardedBackend(workers={self.workers})"
+        mode = "pipelined" if self._pipelined else "barrier"
+        return f"ShardedBackend(workers={self.workers}, {mode})"

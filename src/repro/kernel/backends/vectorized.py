@@ -10,10 +10,11 @@ from ...core.aggregates import AggregateFunction
 from ...errors import SimulationError
 from .base import (
     GREEDY_TAIL,
+    SEGMENT_SEQUENTIAL,
     ExecutionBackend,
     apply_disjoint_batch,
     apply_sequential,
-    first_occurrence_ready,
+    iter_greedy_segments,
     resolve_chunk,
 )
 
@@ -124,36 +125,26 @@ class VectorizedBackend(ExecutionBackend):
         """Chunked greedy segmentation over an arbitrary exchange/pair
         sequence.
 
-        The sequence is cut into contiguous ``window``-step stretches
-        executed to completion in order (which preserves global step
-        order for free); within a window, first-occurrence batches are
-        peeled off with the scatter/gather trick, the interleave and
-        slot-number buffers reused across iterations. Once a window is
-        down to its last few conflicted steps (:data:`GREEDY_TAIL`)
-        they run sequentially — the batch sizes decay geometrically, so
-        the tail would otherwise burn one full scan per handful of
-        steps.
+        The segmentation itself lives in
+        :func:`~.base.iter_greedy_segments` — a pure plan the sharded
+        backend's parent also consumes (writing segments out instead
+        of applying them). Here each segment is applied the moment it
+        is planned, which keeps the scans cache-resident: contiguous
+        ``window``-step stretches executed to completion in order
+        (preserving global step order for free), first-occurrence
+        batches peeled with the scatter/gather trick, the interleave
+        and slot-number buffers reused across iterations, and each
+        window's last few conflicted steps (:data:`GREEDY_TAIL`) run
+        sequentially — batch sizes decay geometrically, so the tail
+        would otherwise burn one full scan per handful of steps.
         """
         position = self._position_scratch(matrix.shape[0])
         flat_buffer, slot_numbers = self._chunk_buffers(2 * window)
-        for lo in range(0, len(pending_i), window):
-            chunk_i = pending_i[lo:lo + window]
-            chunk_j = pending_j[lo:lo + window]
-            while True:
-                if len(chunk_i) <= GREEDY_TAIL:
-                    apply_sequential(matrix, functions, chunk_i, chunk_j)
-                    break
-                ready = first_occurrence_ready(
-                    chunk_i, chunk_j, position, flat_buffer, slot_numbers
-                )
-                if ready.all():
-                    apply_disjoint_batch(
-                        matrix, functions, chunk_i, chunk_j
-                    )
-                    break
-                apply_disjoint_batch(
-                    matrix, functions, chunk_i[ready], chunk_j[ready]
-                )
-                keep = ~ready
-                chunk_i = chunk_i[keep]
-                chunk_j = chunk_j[keep]
+        for kind, chunk_i, chunk_j in iter_greedy_segments(
+            pending_i, pending_j, position, flat_buffer, slot_numbers,
+            window, GREEDY_TAIL,
+        ):
+            if kind == SEGMENT_SEQUENTIAL:
+                apply_sequential(matrix, functions, chunk_i, chunk_j)
+            else:
+                apply_disjoint_batch(matrix, functions, chunk_i, chunk_j)

@@ -281,6 +281,7 @@ class GossipEngine:
     def matrix(self) -> np.ndarray:
         """The ``(capacity, k)`` value matrix (copy; includes dead and
         not-yet-participating slots)."""
+        self._backend.sync()
         return self._matrix.copy()
 
     @property
@@ -316,10 +317,12 @@ class GossipEngine:
 
     def column(self, name: Optional[Hashable] = None) -> np.ndarray:
         """One instance's approximations over *all* slots (copy)."""
+        self._backend.sync()
         return self._matrix[:, self._column_index(name)].copy()
 
     def alive_column(self, name: Optional[Hashable] = None) -> np.ndarray:
         """One instance's approximations over participating nodes."""
+        self._backend.sync()
         column = self._matrix[:, self._column_index(name)]
         if self._participant.all():
             # everyone participates (the common static case): a plain
@@ -381,9 +384,12 @@ class GossipEngine:
         # geometric growth amortizes repeated joins to O(1) per node
         new_capacity = max(needed, capacity + (capacity >> 1))
         grow = new_capacity - capacity
-        self._matrix = np.vstack(
-            [self._matrix, np.zeros((grow, self._matrix.shape[1]))]
-        )
+        # the backend owns the growth so it costs exactly one matrix
+        # copy: the sharded backend maps a larger shared segment and
+        # copies the old rows straight into it (this used to vstack
+        # into a heap array here and copy again in adopt_matrix);
+        # geometric growth keeps remaps O(log n)
+        self._matrix = self._backend.grow_matrix(self._matrix, new_capacity)
         self._alive = np.concatenate(
             [self._alive, np.zeros(grow, dtype=bool)]
         )
@@ -394,13 +400,13 @@ class GossipEngine:
             self._attributes = np.vstack(
                 [self._attributes, np.zeros((grow, self._attributes.shape[1]))]
             )
-        # re-adopt after reallocation (the sharded backend remaps its
-        # shared segment; geometric growth keeps remaps O(log n))
-        self._matrix = self._backend.adopt_matrix(self._matrix)
 
     def _admit(self, count: int) -> np.ndarray:
         """Admit ``count`` joiners: recycle departed slots (LIFO), then
         extend the matrix. Returns the assigned slot ids."""
+        # joiner rows are written below — the pipelined sharded backend
+        # must finish any in-flight cycle before the matrix mutates
+        self._backend.sync()
         recycled = [
             self._free_slots.pop()
             for _ in range(min(count, len(self._free_slots)))
@@ -459,6 +465,8 @@ class GossipEngine:
     def _start_epoch(self, cycle: int) -> None:
         """Restart the protocol (§4): every alive node becomes a
         participant and its row is re-seeded in place."""
+        # rows are re-seeded in place — drain in-flight cycles first
+        self._backend.sync()
         self.epoch += 1
         np.copyto(self._participant, self._alive)
         self._mask_version += 1
@@ -493,8 +501,12 @@ class GossipEngine:
             # column running the epoch spec's AGGREGATE
             self._functions = (spec.function,) * k_new
             self._names = tuple(range(k_new))
-            self._matrix = self._backend.adopt_matrix(
-                np.zeros((self.capacity, k_new))
+            # a fresh zero matrix straight from the backend: the
+            # sharded backend maps a new zero-filled segment (no heap
+            # array, no copy at all — the old zeros-then-adopt path
+            # wrote every byte twice)
+            self._matrix = self._backend.allocate_matrix(
+                self.capacity, k_new
             )
         self._matrix[participants] = rows
 
@@ -505,6 +517,7 @@ class GossipEngine:
         spec = self._epochs
         if spec.finalize is None:
             return
+        self._backend.sync()
         participants = np.nonzero(self._participant)[0]
         view = EpochView(
             epoch=self.epoch,

@@ -19,8 +19,13 @@ Both are *declared* here and *executed* by the kernel:
 :class:`~repro.kernel.engine.GossipEngine` applies them as alive-mask
 growth/shrink plus value-matrix row recycling — no per-epoch node
 objects are ever rebuilt, which is why Figure 4 runs at N = 100 000 in
-seconds on the vectorized backend. All churn/epoch randomness is drawn
-by the engine, never by an execution backend, so the reference and
+seconds on the vectorized backend. When sustained joins outgrow the
+matrix, the engine grows capacity through the backend's
+``grow_matrix`` hook (and rebuilds through ``allocate_matrix`` on
+epoch instance-count changes), so storage-owning backends like
+``sharded`` pay exactly one copy per geometric growth — there is no
+intermediate heap matrix. All churn/epoch randomness is drawn by the
+engine, never by an execution backend, so the reference and
 vectorized backends stay bitwise-equivalent under any failure model
 declared here.
 """

@@ -110,9 +110,12 @@ class Scenario:
     backend:
         ``"reference"`` (sequential semantic oracle), ``"vectorized"``
         (structure-of-arrays batched execution), ``"sharded"`` /
-        ``"sharded:<workers>"`` (multi-process shared-memory execution)
-        or ``"auto"`` (pick by network size; never picks sharded — the
-        worker pool is an explicit opt-in).
+        ``"sharded:<workers>"`` / ``"sharded:auto"`` (multi-process
+        shared-memory execution; ``auto`` resolves the worker count
+        from CPU affinity and falls back to inline in-process
+        execution on small matrices) or ``"auto"`` (pick by network
+        size; never picks sharded — the worker pool is an explicit
+        opt-in).
     """
 
     topology: Topology

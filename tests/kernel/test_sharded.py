@@ -349,6 +349,313 @@ class TestShardedLifecycle:
         backend.close()
 
 
+def _families():
+    """The four scenario families of the pipelined sweep: plain
+    cycles, pair-mode PM, churn + epoch restarts with capacity growth
+    (shared-segment remaps mid-run), and a sparse CSR overlay."""
+    rng = np.random.default_rng(21)
+    plain = CompleteTopology(230)
+    sparse = RandomRegularTopology(130, 20, seed=22)
+    return {
+        "plain": dict(
+            topology=plain, values=rng.normal(5.0, 2.0, plain.n), seed=71
+        ),
+        "pair_pm": dict(
+            topology=plain, values=rng.normal(5.0, 2.0, plain.n),
+            pair_protocol=PairProtocolSpec("pm", track_s=True), seed=72,
+        ),
+        "churn_epoch": dict(
+            topology=CompleteTopology(72),
+            values=rng.normal(5.0, 2.0, 72),
+            churn=ChurnSpec(
+                model=ConstantRateChurn(joins_per_cycle=30,
+                                        leaves_per_cycle=2),
+            ),
+            epochs=EpochSpec(cycles_per_epoch=4),
+            seed=73,
+        ),
+        "sparse_csr": dict(
+            topology=sparse, values=rng.normal(5.0, 2.0, sparse.n), seed=74
+        ),
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("family", sorted(_families()))
+class TestPipelineModes:
+    """Pipelined vs barrier execution: both modes must be bitwise-equal
+    to the reference oracle for every worker count and family — the
+    pipeline changes *when* a planned segment is applied, never *what*
+    is applied."""
+
+    def test_pipelined_sweep(self, family, workers, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "1")
+        assert_sharded_matches_reference(
+            _families()[family], workers, cycles=12
+        )
+
+    def test_barrier_mode_sweep(self, family, workers, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "0")
+        assert_sharded_matches_reference(
+            _families()[family], workers, cycles=12
+        )
+
+
+class TestPipelineMechanics:
+    def test_pipeline_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "0")
+        barrier = ShardedBackend(workers=1)
+        assert barrier.pipelined is False
+        barrier.close()
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "1")
+        piped = ShardedBackend(workers=1)
+        assert piped.pipelined is True
+        piped.close()
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "maybe")
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=1)
+
+    def test_pipelined_kwarg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "0")
+        backend = ShardedBackend(workers=1, pipelined=True)
+        assert backend.pipelined is True
+        backend.close()
+
+    def test_tiny_chunk_forces_bank_wraparound(self, monkeypatch):
+        """A pathological 7-step window makes every cycle publish many
+        segments, and 16 cycles alternate the two step-buffer banks
+        through many reuse generations; the handoff must never
+        overwrite a bank that is still in flight."""
+        monkeypatch.setenv("REPRO_SHARD_CHUNK", "7")
+        monkeypatch.setenv("REPRO_SHARD_PIPELINE", "1")
+        topology = CompleteTopology(96)
+        values = np.random.default_rng(23).normal(5.0, 2.0, topology.n)
+        kwargs = dict(topology=topology, values=values, seed=75)
+        ref_matrix, _, ref_result = run_engine(
+            "reference", kwargs, cycles=16
+        )
+        sh_matrix, _, sh_result = run_engine(
+            "sharded:2", kwargs, cycles=16
+        )
+        assert np.array_equal(ref_matrix, sh_matrix)
+        assert ref_result.exchange_counts == sh_result.exchange_counts
+
+    def test_phase_seconds_accumulate(self):
+        topology = CompleteTopology(200)
+        values = np.random.default_rng(24).normal(5.0, 2.0, topology.n)
+        engine = GossipEngine(
+            Scenario(topology, values, seed=76, backend="sharded:2")
+        )
+        try:
+            engine.run(4, record="end")
+            phases = engine._backend.phase_seconds
+            assert set(phases) == {"plan", "apply", "sync"}
+            assert phases["plan"] > 0.0
+            assert phases["sync"] > 0.0
+            assert all(value >= 0.0 for value in phases.values())
+        finally:
+            engine.close()
+
+    def test_killed_worker_raises_shard_pool_error(self, monkeypatch):
+        """A worker dying mid-run must surface as a typed
+        ShardPoolError naming the worker and protocol phase, not hang
+        until the 120 s default timeout or raise a bare pipe error."""
+        from repro.errors import ShardPoolError
+
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "2")
+        topology = CompleteTopology(160)
+        values = np.random.default_rng(25).normal(5.0, 2.0, topology.n)
+        engine = GossipEngine(
+            Scenario(topology, values, seed=77, backend="sharded:2")
+        )
+        try:
+            engine.run(2, record="end")
+            victim = engine._backend._procs[1]
+            victim.terminate()
+            victim.join(timeout=5)
+            with pytest.raises(ShardPoolError) as excinfo:
+                engine.run(4, record="end")
+            error = excinfo.value
+            assert "sharded worker pool failed during" in str(error)
+            assert error.phase in ("command", "apply", "barrier", "remap")
+            assert error.worker is not None
+        finally:
+            # close() stays orderly after the failure: the segments
+            # were parked, so release_matrix still detaches a copy
+            engine.close()
+
+    def test_close_after_failure_is_clean(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "2")
+        backend = ShardedBackend(workers=2)
+        matrix = np.random.default_rng(26).normal(0.0, 1.0, (64, 1))
+        backend.apply_exchanges(
+            matrix, (MeanAggregate(),),
+            np.arange(32), np.arange(32, 64),
+        )
+        backend._procs[0].terminate()
+        backend._procs[0].join(timeout=5)
+        backend.close()
+        assert backend.active_workers == 0
+
+
+class TestAutoWorkers:
+    def test_auto_spec_parses(self):
+        assert parse_backend_spec("sharded:auto") == ("sharded", "auto")
+
+    def test_auto_backend_resolves_worker_count(self):
+        backend = make_backend("sharded:auto")
+        assert backend.workers >= 1
+        backend.close()
+
+    def test_auto_inlines_small_matrices(self):
+        """Below the inline threshold `auto` must not spawn a pool at
+        all — sharded:auto is never slower than vectorized at
+        degenerate sizes — and still match the oracle bitwise."""
+        topology = CompleteTopology(180)
+        values = np.random.default_rng(27).normal(5.0, 2.0, topology.n)
+        kwargs = dict(topology=topology, values=values, seed=78)
+        ref_matrix, _, _ = run_engine("reference", kwargs, cycles=6)
+        engine = GossipEngine(
+            Scenario(backend="sharded:auto", **kwargs)
+        )
+        try:
+            engine.run(6)
+            assert engine._backend.inline is True
+            assert engine._backend.active_workers == 0
+            assert np.array_equal(engine.matrix, ref_matrix)
+        finally:
+            engine.close()
+
+    def test_explicit_worker_count_never_inlines(self):
+        topology = CompleteTopology(64)
+        values = np.random.default_rng(28).normal(5.0, 2.0, topology.n)
+        engine = GossipEngine(
+            Scenario(topology, values, seed=79, backend="sharded:2")
+        )
+        try:
+            assert engine._backend.inline is False
+            assert engine._backend.active_workers == 2
+        finally:
+            engine.close()
+
+    def test_growth_past_threshold_promotes_to_pool(self, monkeypatch):
+        """An `auto` engine that starts tiny but grows past the inline
+        threshold must promote to the shared-memory pool mid-run and
+        stay bitwise-equal to the oracle across the promotion.
+
+        `auto` on a single schedulable core stays inline at every size
+        (see test_auto_single_core_stays_inline), so pretend the box
+        has two cores to exercise the promotion machinery."""
+        import repro.kernel.backends.sharded as sharded_module
+        monkeypatch.setattr(sharded_module, "default_workers", lambda: 2)
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "100")
+        topology = CompleteTopology(48)
+        values = np.random.default_rng(29).normal(5.0, 2.0, topology.n)
+        kwargs = dict(
+            topology=topology, values=values,
+            churn=ChurnSpec(
+                model=ConstantRateChurn(joins_per_cycle=25,
+                                        leaves_per_cycle=1),
+            ),
+            seed=80,
+        )
+        ref_matrix, ref_alive, _ = run_engine("reference", kwargs, cycles=10)
+        engine = GossipEngine(Scenario(backend="sharded:auto", **kwargs))
+        try:
+            engine.run(10)
+            assert engine._backend.inline is False
+            assert engine._backend.active_workers >= 1
+            assert np.array_equal(engine.matrix, ref_matrix)
+            assert np.array_equal(engine.alive_mask, ref_alive)
+        finally:
+            engine.close()
+
+    def test_auto_single_core_stays_inline(self, monkeypatch):
+        """With one schedulable core a pool cannot overlap anything —
+        it only adds IPC on top of the same serial work — so `auto`
+        stays in-process at *any* size, even past the threshold."""
+        import repro.kernel.backends.sharded as sharded_module
+        monkeypatch.setattr(sharded_module, "default_workers", lambda: 1)
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "100")
+        backend = ShardedBackend(workers="auto")
+        try:
+            matrix = backend.adopt_matrix(
+                np.random.default_rng(31).normal(0.0, 1.0, (4096, 1))
+            )
+            assert backend.inline is True
+            assert backend.active_workers == 0
+            grown = backend.grow_matrix(matrix, 8192)
+            assert backend.inline is True
+            assert backend.active_workers == 0
+            assert grown.shape == (8192, 1)
+        finally:
+            backend.close()
+
+    def test_inline_env_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "many")
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers="auto")
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "-5")
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers="auto")
+
+
+class TestSingleCopyGrowth:
+    def test_churn_growth_costs_one_copy_per_growth(self):
+        """The growth path used to copy twice (engine vstack into a
+        heap array, then adopt_matrix into the new segment); now the
+        backend maps the larger segment and copies once. The counter
+        covers the initial adoption plus exactly one copy per
+        capacity-growth event."""
+        topology = CompleteTopology(64)
+        values = np.random.default_rng(30).normal(5.0, 2.0, topology.n)
+        engine = GossipEngine(
+            Scenario(
+                topology, values,
+                churn=ChurnSpec(
+                    model=ConstantRateChurn(joins_per_cycle=40,
+                                            leaves_per_cycle=2),
+                ),
+                seed=81, backend="sharded:2",
+            )
+        )
+        try:
+            growths = 0
+            capacity = engine.capacity
+            for _ in range(12):
+                engine.run_cycle()
+                if engine.capacity > capacity:
+                    growths += 1
+                    capacity = engine.capacity
+            assert growths >= 2  # the workload must actually grow
+            assert engine._backend.adopt_copies == 1 + growths
+        finally:
+            engine.close()
+
+    def test_epoch_instance_rebuild_costs_zero_copies(self):
+        """Epoch restarts that change the instance count allocate a
+        fresh zero-filled segment — no heap zeros, no adopt copy."""
+        n = 64
+        values = np.random.default_rng(31).normal(5.0, 2.0, n)
+
+        def reseed(context):
+            k = 1 + (context.epoch % 2)
+            return np.ones((len(context.participants), k))
+
+        engine = GossipEngine(
+            Scenario(
+                CompleteTopology(n), values,
+                epochs=EpochSpec(cycles_per_epoch=2, reseed=reseed),
+                seed=82, backend="sharded:1",
+            )
+        )
+        try:
+            engine.run(10)  # 5 epochs, ~5 instance-count rebuilds
+            assert engine._backend.adopt_copies == 1  # initial adopt only
+        finally:
+            engine.close()
+
+
 class TestBackendSpecs:
     def test_make_backend_sharded_default_workers(self):
         backend = make_backend("sharded")
@@ -433,3 +740,30 @@ class TestCliBackendSpecs:
                          "--backend", "reference,sharded:1"]) == 0
         out = capsys.readouterr().out
         assert "reference" in out and "sharded:1" in out
+
+    def test_workers_auto_is_default_for_bare_sharded(self, capsys):
+        """`--backend sharded` with the default `--workers auto` folds
+        to sharded:auto (affinity worker count + inline fallback)."""
+        assert cli_main(["scale", "--n", "300", "--cycles", "2",
+                         "--backend", "sharded"]) == 0
+        assert "sharded:auto" in capsys.readouterr().out
+
+    def test_workers_auto_inert_for_other_backends(self, capsys):
+        """The auto default must not break non-sharded backends or
+        comparison lists."""
+        assert cli_main(["scale", "--n", "300", "--cycles", "2",
+                         "--backend", "vectorized",
+                         "--workers", "auto"]) == 0
+        assert "vectorized" in capsys.readouterr().out
+
+    def test_backend_sharded_auto_spec(self, capsys):
+        assert cli_main(["scale", "--n", "300", "--cycles", "2",
+                         "--backend", "sharded:auto"]) == 0
+        assert "sharded:auto" in capsys.readouterr().out
+
+    def test_workers_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["scale", "--n", "64", "--backend", "sharded",
+                      "--workers", "some"])
+        assert excinfo.value.code == 2
+        assert "positive integer or 'auto'" in capsys.readouterr().err
