@@ -14,6 +14,11 @@ from .runner import (
     ReplicateResult,
 )
 from .reporting import format_table, format_series, Table
+from .robustness import (
+    RobustnessSweep,
+    render_robustness_svg,
+    run_robustness_sweep,
+)
 from .validation import (
     chi_square_statistic,
     chi_square_critical,
@@ -36,4 +41,7 @@ __all__ = [
     "format_table",
     "format_series",
     "Table",
+    "RobustnessSweep",
+    "render_robustness_svg",
+    "run_robustness_sweep",
 ]

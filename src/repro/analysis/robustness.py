@@ -1,0 +1,423 @@
+"""Declarative robustness sweeps: estimation error under adversaries.
+
+The scenario-diversity flagship: a :class:`RobustnessSweep` declares a
+matrix of adversary kind × adversary fraction × churn rate × topology
+cells, every cell runs the §4 size-estimation workload (the COUNT
+bundle of :class:`~repro.kernel.robust.MultiAggregateSpec`) under the
+declared :class:`~repro.kernel.adversary.AdversarySpec`, and the per
+cell output is the relative estimation error of each report reduction
+(plain mean, median, trimmed mean) over independent replications —
+the robustness-report figure in one JSON-able payload.
+
+The sweep is fully declarative: :meth:`RobustnessSweep.from_mapping`
+builds one from a plain mapping (parsed YAML/JSON — see
+``docs/scenarios.md`` for the config cookbook), the ``repro robustness``
+CLI subcommand and ``benchmarks/bench_adversary.py`` both drive it, and
+:func:`render_robustness_svg` turns the payload into a dependency-free
+SVG figure.
+
+Cell semantics:
+
+* static cells (churn rate 0) run ``cycles`` cycles on the declared
+  overlay; ground truth is the full network size ``n``;
+* churn cells add ``ConstantRateChurn`` (``rate * n`` nodes joining AND
+  leaving per cycle) plus the §4 epoch machinery (two epochs, a fresh
+  leader elected per epoch start), and measure the final epoch's
+  converged estimate against the size at that epoch's start — Figure
+  4's one-epoch lag. Churn requires the uniform overlay, so churn cells
+  run on the complete topology only (sparse cells are static).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..failures.churn import ConstantRateChurn
+from ..kernel.adversary import ADVERSARY_KINDS, AdversarySpec
+from ..kernel.engine import GossipEngine
+from ..kernel.lifecycle import ChurnSpec, EpochSpec
+from ..kernel.robust import (
+    ROBUST_REDUCTIONS,
+    DEFAULT_TRIM,
+    MultiAggregateSpec,
+    median_of_runs,
+    robust_reduce,
+    size_from_count,
+)
+from ..rng import SeedLike, spawn_streams
+from ..topology.base import Topology
+from ..topology.complete import CompleteTopology
+from ..topology.random_regular import RandomRegularTopology
+
+
+@dataclass(frozen=True)
+class RobustnessSweep:
+    """One declarative robustness sweep, fully specified.
+
+    ``fractions`` × ``kinds`` × ``topologies`` (static cells) plus
+    ``fractions`` × ``kinds`` × nonzero ``churn_rates`` (complete
+    overlay) — each cell replicated over ``runs`` independent seed
+    streams derived from ``seed``.
+    """
+
+    n: int = 100_000
+    cycles: int = 30
+    cycles_per_epoch: int = 30
+    runs: int = 3
+    value: float = 1.0
+    kinds: Tuple[str, ...] = ("lying", "inject")
+    fractions: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+    churn_rates: Tuple[float, ...] = (0.0, 0.01)
+    topologies: Tuple[str, ...] = ("complete", "regular20")
+    backend: str = "auto"
+    seed: SeedLike = 2004
+    trim: float = DEFAULT_TRIM
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"n must be >= 2, got {self.n}")
+        if self.cycles < 1 or self.cycles_per_epoch < 1:
+            raise ConfigurationError("cycles and cycles_per_epoch must be >= 1")
+        if self.runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {self.runs}")
+        for sequence_name in ("kinds", "fractions", "churn_rates", "topologies"):
+            object.__setattr__(
+                self, sequence_name, tuple(getattr(self, sequence_name))
+            )
+        for kind in self.kinds:
+            if kind not in ADVERSARY_KINDS:
+                raise ConfigurationError(
+                    f"unknown adversary kind {kind!r}; expected one of "
+                    f"{ADVERSARY_KINDS}"
+                )
+        for fraction in self.fractions:
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(
+                    f"adversary fractions must be in [0, 1], got {fraction}"
+                )
+        for rate in self.churn_rates:
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"churn rates must be in [0, 1), got {rate}"
+                )
+        for name in self.topologies:
+            _parse_topology_name(name)  # validate eagerly, build lazily
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "RobustnessSweep":
+        """Build a sweep from a declarative config mapping (the parsed
+        YAML/JSON form); unknown keys fail loudly."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(mapping) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown robustness-sweep keys: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(mapping))
+
+    def build_topology(self, name: str) -> Topology:
+        """Resolve a declarative topology name (``"complete"`` or
+        ``"regular<k>"``) into an overlay of size ``n``. Overlays are
+        immutable, so cells sharing a name share one cached graph —
+        sparse construction at paper scale is paid once per sweep, not
+        once per replication."""
+        degree = _parse_topology_name(name)
+        if degree is None:
+            return CompleteTopology(self.n)
+        return _cached_regular_topology(self.n, degree)
+
+    def cells(self) -> List[Dict[str, Any]]:
+        """The cell matrix, in execution order."""
+        matrix: List[Dict[str, Any]] = []
+        for kind in self.kinds:
+            for topology_name in self.topologies:
+                for fraction in self.fractions:
+                    matrix.append({
+                        "kind": kind,
+                        "topology": topology_name,
+                        "churn_rate": 0.0,
+                        "fraction": fraction,
+                    })
+            for rate in self.churn_rates:
+                if rate == 0.0 or kind == "eclipse":
+                    # rate 0 duplicates the static complete cell;
+                    # eclipse needs a static overlay
+                    continue
+                for fraction in self.fractions:
+                    matrix.append({
+                        "kind": kind,
+                        "topology": "complete",
+                        "churn_rate": rate,
+                        "fraction": fraction,
+                    })
+        return matrix
+
+
+def _parse_topology_name(name: str) -> Optional[int]:
+    """``None`` for the complete overlay, the degree for
+    ``"regular<k>"``; raises on anything else."""
+    if name == "complete":
+        return None
+    if isinstance(name, str) and name.startswith("regular"):
+        try:
+            degree = int(name[len("regular"):])
+        except ValueError:
+            degree = 0
+        if degree >= 1:
+            return degree
+    raise ConfigurationError(
+        f"unknown topology {name!r}; expected 'complete' or 'regular<k>'"
+    )
+
+
+@lru_cache(maxsize=4)
+def _cached_regular_topology(n: int, degree: int) -> RandomRegularTopology:
+    # construction seed is a pure function of the overlay shape, so the
+    # sweep is reproducible and cells share the graph
+    return RandomRegularTopology(n, degree, seed=97 + 31 * degree + n)
+
+
+def _indicator_reseed(context) -> np.ndarray:
+    """Epoch restart for the counting instance: the lowest participant
+    slot becomes the epoch's leader (holds 1), everyone else 0."""
+    rows = np.zeros(len(context.participants), dtype=np.float64)
+    rows[0] = 1.0
+    return rows
+
+
+def _run_cell_once(
+    sweep: RobustnessSweep, cell: Mapping[str, Any], seed: SeedLike
+) -> Dict[str, Any]:
+    """One replication of one cell: run the COUNT workload under the
+    cell's adversary, reduce the reported estimates every way, and
+    return per-reduction size estimates plus the ground truth."""
+    bundle = MultiAggregateSpec.counting(sweep.n, trim=sweep.trim)
+    adversary = AdversarySpec(
+        kind=cell["kind"], fraction=cell["fraction"], value=sweep.value
+    )
+    rate = cell["churn_rate"]
+    if rate > 0.0:
+        per_cycle = max(int(round(rate * sweep.n)), 1)
+        scenario = bundle.scenario(
+            CompleteTopology(sweep.n),
+            churn=ChurnSpec(model=ConstantRateChurn(per_cycle, per_cycle)),
+            epochs=EpochSpec(
+                cycles_per_epoch=sweep.cycles_per_epoch,
+                reseed=_indicator_reseed,
+            ),
+            adversary=adversary,
+            seed=seed,
+            backend=sweep.backend,
+        )
+        cycles = 2 * sweep.cycles_per_epoch
+    else:
+        scenario = bundle.scenario(
+            sweep.build_topology(cell["topology"]),
+            adversary=adversary,
+            seed=seed,
+            backend=sweep.backend,
+        )
+        cycles = sweep.cycles
+    engine = GossipEngine(scenario)
+    try:
+        result = engine.run(cycles, record="cycle")
+        if rate > 0.0:
+            # the final epoch's estimate describes the size at its own
+            # start (Figure 4's one-epoch lag)
+            truth = float(result.alive_counts[sweep.cycles_per_epoch])
+        else:
+            truth = float(engine.alive_count)
+        reports = engine.reported_column("count")
+    finally:
+        engine.close()
+    cap = 100.0 * sweep.n
+    estimates = {
+        method: size_from_count(
+            robust_reduce(reports, method, trim=sweep.trim), cap=cap
+        )
+        for method in ROBUST_REDUCTIONS
+    }
+    return {"truth": truth, "estimates": estimates}
+
+
+def run_robustness_sweep(sweep: RobustnessSweep) -> Dict[str, Any]:
+    """Execute the whole matrix and aggregate across replications.
+
+    Each row carries, per reduction, the mean relative estimation error
+    over the ``runs`` replications (``error_<method>``) and the error
+    of the median-of-runs combined estimate
+    (``runs_error_<method>`` — the UBLCS-2003-16 cross-run defense).
+    """
+    rows: List[Dict[str, Any]] = []
+    for cell in sweep.cells():
+        cell_seed = (
+            "robustness", sweep.seed, cell["kind"], cell["topology"],
+            cell["churn_rate"], cell["fraction"],
+        )
+        outcomes = [
+            _run_cell_once(sweep, cell, run_rng)
+            for run_rng in spawn_streams(_fold_seed(cell_seed), sweep.runs)
+        ]
+        row: Dict[str, Any] = dict(cell)
+        row["runs"] = sweep.runs
+        for method in ROBUST_REDUCTIONS:
+            errors = [
+                abs(outcome["estimates"][method] - outcome["truth"])
+                / outcome["truth"]
+                for outcome in outcomes
+            ]
+            row[f"error_{method}"] = float(np.mean(errors))
+            combined = median_of_runs(
+                [outcome["estimates"][method] for outcome in outcomes]
+            )
+            mean_truth = float(np.mean([o["truth"] for o in outcomes]))
+            row[f"runs_error_{method}"] = float(
+                abs(combined - mean_truth) / mean_truth
+            )
+        rows.append(row)
+    return {
+        "n": sweep.n,
+        "cycles": sweep.cycles,
+        "cycles_per_epoch": sweep.cycles_per_epoch,
+        "runs": sweep.runs,
+        "value": sweep.value,
+        "backend": sweep.backend,
+        "trim": sweep.trim,
+        "kinds": list(sweep.kinds),
+        "fractions": list(sweep.fractions),
+        "churn_rates": list(sweep.churn_rates),
+        "topologies": list(sweep.topologies),
+        "rows": rows,
+    }
+
+
+def _fold_seed(parts: Tuple[Any, ...]) -> int:
+    """Deterministic 63-bit seed from a mixed tuple (cells must keep
+    their seed streams when the matrix gains or loses other cells)."""
+    accumulator = 1469598103934665603  # FNV-1a offset basis
+    for byte in repr(parts).encode():
+        accumulator = ((accumulator ^ byte) * 1099511628211) % (1 << 63)
+    return accumulator
+
+
+# -- the robustness-report figure ---------------------------------------
+
+_SVG_COLORS = {"mean": "#c0392b", "median": "#2471a3", "trimmed": "#1e8449"}
+
+
+def render_robustness_svg(
+    payload: Mapping[str, Any], *, width: int = 960, height: int = 360
+) -> str:
+    """The robustness-report figure as a dependency-free SVG string:
+    one panel per adversary kind, relative estimation error (log scale)
+    vs adversary fraction, one line per reduction — solid on the static
+    complete overlay, dashed under the highest churn rate."""
+    kinds = list(payload["kinds"])
+    rows = payload["rows"]
+    churn_rates = [rate for rate in payload["churn_rates"] if rate > 0.0]
+    top_rate = max(churn_rates) if churn_rates else None
+    panel_width = width // max(len(kinds), 1)
+    margin = 52
+    floor = 1e-8
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    fractions = sorted({row["fraction"] for row in rows})
+    if not fractions or not kinds:
+        parts.append("</svg>")
+        return "\n".join(parts)
+    log_low, log_high = np.log10(floor), 0.5
+
+    def x_at(panel: int, fraction: float) -> float:
+        span = max(fractions[-1] - fractions[0], 1e-9)
+        inner = panel_width - margin - 16
+        return panel * panel_width + margin + (
+            (fraction - fractions[0]) / span
+        ) * inner
+
+    def y_at(error: float) -> float:
+        level = np.clip(np.log10(max(error, floor)), log_low, log_high)
+        inner = height - margin - 28
+        return 28 + (log_high - level) / (log_high - log_low) * inner
+
+    for panel, kind in enumerate(kinds):
+        left = panel * panel_width
+        parts.append(
+            f'<text x="{left + margin}" y="16" font-weight="bold">'
+            f'{kind} adversary — N={payload["n"]}</text>'
+        )
+        parts.append(
+            f'<line x1="{left + margin}" y1="{height - margin}" '
+            f'x2="{left + panel_width - 16}" y2="{height - margin}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<line x1="{left + margin}" y1="28" x2="{left + margin}" '
+            f'y2="{height - margin}" stroke="black"/>'
+        )
+        for fraction in fractions:
+            x = x_at(panel, fraction)
+            parts.append(
+                f'<text x="{x - 10}" y="{height - margin + 14}">'
+                f'{fraction:g}</text>'
+            )
+        for decade in range(int(log_low), 1):
+            y = y_at(10.0 ** decade)
+            parts.append(
+                f'<text x="{left + 6}" y="{y + 4}">1e{decade}</text>'
+            )
+        series = [("complete-static", 0.0, "none")]
+        if top_rate is not None and kind != "eclipse":
+            series.append((f"churn {top_rate:g}", top_rate, "6,4"))
+        for label, rate, dash in series:
+            for method in ROBUST_REDUCTIONS:
+                points = []
+                for fraction in fractions:
+                    match = [
+                        row for row in rows
+                        if row["kind"] == kind
+                        and row["topology"] == "complete"
+                        and row["churn_rate"] == rate
+                        and row["fraction"] == fraction
+                    ]
+                    if match:
+                        points.append(
+                            (x_at(panel, fraction),
+                             y_at(match[0][f"error_{method}"]))
+                        )
+                if len(points) < 2:
+                    continue
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+                dash_attr = (
+                    f' stroke-dasharray="{dash}"' if dash != "none" else ""
+                )
+                parts.append(
+                    f'<polyline points="{path}" fill="none" '
+                    f'stroke="{_SVG_COLORS[method]}" stroke-width="1.6"'
+                    f'{dash_attr}/>'
+                )
+        legend_y = 30
+        for method in ROBUST_REDUCTIONS:
+            parts.append(
+                f'<rect x="{left + panel_width - 110}" y="{legend_y}" '
+                f'width="10" height="10" fill="{_SVG_COLORS[method]}"/>'
+            )
+            parts.append(
+                f'<text x="{left + panel_width - 96}" y="{legend_y + 9}">'
+                f'{method}</text>'
+            )
+            legend_y += 14
+        parts.append(
+            f'<text x="{left + margin}" y="{height - 6}">'
+            f'adversary fraction (dashed = churn)</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -19,6 +19,11 @@ Usage::
     python -m repro scale --n 100000      # kernel backend comparison
     python -m repro scale --n 1000000 --backend vectorized,sharded:4
                                           # single- vs multi-process at 1M
+    python -m repro robustness            # adversary sweep, small default
+    python -m repro robustness --n 100000 --backend vectorized --svg out.svg
+                                          # robustness report at paper scale
+    python -m repro robustness --config sweep.json
+                                          # declarative scenario matrix
 
 Each subcommand prints the same rows the corresponding benchmark
 archives, with small default sizes so it completes in seconds.
@@ -33,7 +38,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from .analysis import Table, replicate
+from .analysis import (
+    RobustnessSweep,
+    Table,
+    render_robustness_svg,
+    replicate,
+    run_robustness_sweep,
+)
 from .avg import (
     GetPairPerfectMatching,
     GetPairPMRand,
@@ -272,6 +283,94 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_sweep_config(path: str) -> dict:
+    """Parse a declarative robustness-sweep config: JSON always, YAML
+    when PyYAML is importable (the file formats are interchangeable —
+    the mapping feeds ``RobustnessSweep.from_mapping`` either way)."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        mapping = json.loads(text)
+    except ValueError:
+        try:
+            import yaml
+        except ImportError:
+            raise SystemExit(
+                f"{path} is not JSON and PyYAML is not installed; "
+                f"provide a JSON config or install pyyaml"
+            ) from None
+        mapping = yaml.safe_load(text)
+    if not isinstance(mapping, dict):
+        raise SystemExit(f"{path} must hold a mapping, got {type(mapping).__name__}")
+    return mapping
+
+
+def _float_list(value: str) -> tuple:
+    return tuple(float(part) for part in value.split(","))
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    """The declarative scenario-matrix sweep: estimation error vs
+    adversary fraction × churn rate × topology."""
+    if args.config:
+        mapping = _load_sweep_config(args.config)
+    else:
+        # quick-look defaults: the full matrix in a couple of seconds
+        mapping = {"n": 2000, "runs": 2, "cycles": 25, "cycles_per_epoch": 25}
+    sweep = RobustnessSweep.from_mapping(mapping)
+    overrides = {
+        key: value
+        for key, value in (
+            ("n", args.n),
+            ("runs", args.runs),
+            ("cycles", args.cycles),
+            ("cycles_per_epoch", args.epoch),
+            ("value", args.value),
+            ("seed", args.seed),
+            ("fractions", args.fractions),
+            ("churn_rates", args.churn_rates),
+            ("kinds", tuple(args.kinds.split(",")) if args.kinds else None),
+            (
+                "topologies",
+                tuple(args.topologies.split(",")) if args.topologies else None,
+            ),
+        )
+        if value is not None
+    }
+    if args.backend != "auto":
+        overrides["backend"] = args.backend
+    if overrides:
+        import dataclasses
+
+        sweep = dataclasses.replace(sweep, **overrides)
+    start = time.perf_counter()
+    payload = run_robustness_sweep(sweep)
+    elapsed = time.perf_counter() - start
+    table = Table(
+        headers=[
+            "kind", "topology", "churn", "fraction",
+            "err(mean)", "err(median)", "err(trimmed)",
+        ],
+        title=(
+            f"Robustness report: size-estimation error, N={sweep.n}, "
+            f"{sweep.runs} runs/cell ({elapsed:.1f}s)"
+        ),
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            row["kind"], row["topology"], row["churn_rate"], row["fraction"],
+            row["error_mean"], row["error_median"], row["error_trimmed"],
+        )
+    print(table.render())
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(render_robustness_svg(payload))
+        print(f"figure written to {args.svg}")
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     topology = RandomRegularTopology(args.n, 20, seed=args.seed)
@@ -357,6 +456,49 @@ def build_parser() -> argparse.ArgumentParser:
              "or 'auto' (the default)",
     )
     scale_cmd.set_defaults(func=_cmd_scale)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="adversary sweep: estimation error vs fraction × churn × "
+             "topology",
+    )
+    robustness.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="declarative sweep config (JSON, or YAML with pyyaml); "
+             "explicit flags override its keys",
+    )
+    robustness.add_argument("--n", type=int, default=None,
+                            help="network size (default 2000 without "
+                                 "--config)")
+    robustness.add_argument("--runs", type=int, default=None)
+    robustness.add_argument("--cycles", type=int, default=None)
+    robustness.add_argument("--epoch", type=int, default=None,
+                            help="cycles per epoch in churn cells")
+    robustness.add_argument("--value", type=float, default=None,
+                            help="the injected / reported lie value")
+    robustness.add_argument("--seed", type=int, default=None)
+    robustness.add_argument(
+        "--fractions", type=_float_list, default=None, metavar="F,F,...",
+        help="adversary fractions (default 0,0.05,0.1,0.2)",
+    )
+    robustness.add_argument(
+        "--churn-rates", type=_float_list, default=None, metavar="R,R,...",
+        help="per-cycle churn rates as fractions of N (default 0,0.01)",
+    )
+    robustness.add_argument(
+        "--kinds", default=None, metavar="K,K,...",
+        help="adversary kinds (default lying,inject)",
+    )
+    robustness.add_argument(
+        "--topologies", default=None, metavar="T,T,...",
+        help="overlays for static cells (default complete,regular20)",
+    )
+    robustness.add_argument(
+        "--svg", default=None, metavar="PATH",
+        help="write the robustness-report figure to PATH",
+    )
+    _add_backend_options(robustness)
+    robustness.set_defaults(func=_cmd_robustness)
     return parser
 
 

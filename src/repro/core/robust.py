@@ -16,6 +16,12 @@ messages).
 with optional message loss and crash injection, and reports both the
 naive single-instance estimate and the median-of-instances estimate so
 benchmarks can quantify the gain.
+
+The kernel hosts the same defenses as reductions over per-node reports
+(:mod:`repro.kernel.robust`: median / trimmed mean, median-of-runs,
+count-capped MIN/MAX size estimation), composable with any backend and
+any :class:`~repro.kernel.adversary.AdversarySpec`; this module remains
+the self-contained multi-instance reference implementation.
 """
 
 from __future__ import annotations

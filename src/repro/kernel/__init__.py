@@ -22,6 +22,21 @@ from .scenario import (
     AUTO_VECTORIZE_THRESHOLD,
     Scenario,
 )
+from .adversary import (
+    ADVERSARY_KINDS,
+    AdversarySpec,
+)
+from .robust import (
+    DEFAULT_TRIM,
+    ROBUST_REDUCTIONS,
+    MultiAggregateSpec,
+    max_size_estimate,
+    median_of_runs,
+    min_size_estimate,
+    robust_reduce,
+    size_from_count,
+    trimmed_mean,
+)
 from .lifecycle import (
     ChurnSpec,
     EpochRestart,
@@ -49,7 +64,18 @@ from .backends import (
 from .engine import CyclePlan, GossipEngine, KernelRunResult, run_scenario
 
 __all__ = [
+    "ADVERSARY_KINDS",
+    "AdversarySpec",
     "AUTO_VECTORIZE_THRESHOLD",
+    "DEFAULT_TRIM",
+    "ROBUST_REDUCTIONS",
+    "MultiAggregateSpec",
+    "max_size_estimate",
+    "median_of_runs",
+    "min_size_estimate",
+    "robust_reduce",
+    "size_from_count",
+    "trimmed_mean",
     "BACKEND_FORMS",
     "BACKEND_NAMES",
     "Scenario",

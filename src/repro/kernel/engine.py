@@ -24,7 +24,14 @@ stochastic and everything stateful:
   churn departures, restart re-seeding), identical no matter which
   backend executes, and
 * the remaining failure machinery (crash plan, loss schedule,
-  partition).
+  partition), and
+* the declarative adversary
+  (:class:`~repro.kernel.adversary.AdversarySpec`): the adversary set
+  is drawn once at construction, ``inject`` corruption is written into
+  the matrix before each cycle's exchanges, ``partition`` joins the
+  fused ok-mask pass, ``eclipse`` overrides partner draws, and
+  ``lying`` rewrites reports at observation time
+  (:meth:`GossipEngine.reported_column`) without touching state.
 
 What remains — applying the cycle's successful exchanges to the matrix
 — is delegated to a pluggable
@@ -192,6 +199,26 @@ class GossipEngine:
             else None
         )
         self._phi_log: List[np.ndarray] = []
+        # -- adversary state (AdversarySpec) ----------------------------
+        # the adversary set is drawn from the engine RNG at construction
+        # (before any cycle randomness), corruption is applied as
+        # engine-side matrix writes and exchange filtering — backends
+        # never see the spec, so bitwise equivalence is preserved
+        adversary = scenario.adversary
+        self._adversary = adversary
+        self._adversary_partition = (
+            adversary is not None and adversary.kind == "partition"
+        )
+        self._adv_mask: Optional[np.ndarray] = None
+        self._eclipse: Optional[np.ndarray] = None
+        if adversary is not None:
+            mask = np.zeros(scenario.n, dtype=bool)
+            mask[adversary.resolve_nodes(scenario.n, self._rng)] = True
+            self._adv_mask = mask
+            if adversary.kind == "eclipse":
+                self._eclipse = adversary.eclipse_redirects(
+                    scenario.topology, mask, self._rng
+                )
         # participants: the nodes gossiping in the current epoch. Only
         # diverges from the alive mask under epochs, where mid-epoch
         # joiners wait for the next restart (§4).
@@ -242,6 +269,7 @@ class GossipEngine:
             scenario.loss_schedule is None
             and scenario.loss_probability == 0.0
             and scenario.partition is None
+            and not self._adversary_partition
         )
         self.cycle = 0
 
@@ -330,6 +358,51 @@ class GossipEngine:
             return column.copy()
         return column[self._participant]
 
+    @property
+    def adversary_mask(self) -> np.ndarray:
+        """Boolean adversary mask over all slots (copy; all-``False``
+        when the scenario declares no adversary)."""
+        if self._adv_mask is None:
+            return np.zeros(self.capacity, dtype=bool)
+        return self._adv_mask.copy()
+
+    @property
+    def honest_mask(self) -> np.ndarray:
+        """Participants that are not adversarial (copy)."""
+        if self._adv_mask is None:
+            return self._participant.copy()
+        return self._participant & ~self._adv_mask
+
+    def reported_column(self, name: Optional[Hashable] = None) -> np.ndarray:
+        """What the network *reports*: one instance's approximations
+        over participating nodes, with byzantine responders' lies
+        applied. Under an active ``kind="lying"`` adversary each
+        adversarial node's report is replaced by the spec value at read
+        time — the gossip state itself is untouched. For every other
+        kind this equals :meth:`alive_column`. Robust reductions
+        (:func:`~repro.kernel.robust.robust_reduce`) consume this view.
+        """
+        reports = self.alive_column(name)
+        spec = self._adversary
+        if (
+            spec is not None
+            and spec.kind == "lying"
+            and spec.active_at(self.cycle)
+        ):
+            if self._participant.all():
+                adversarial = self._adv_mask
+            else:
+                adversarial = self._adv_mask[self._participant]
+            reports[adversarial] = spec.value
+        return reports
+
+    def honest_column(self, name: Optional[Hashable] = None) -> np.ndarray:
+        """One instance's approximations over *honest* participants —
+        the view the §3 restricted invariants quantify over."""
+        self._backend.sync()
+        column = self._matrix[:, self._column_index(name)]
+        return column[self.honest_mask]
+
     def variance(self, name: Optional[Hashable] = None) -> float:
         """Unbiased variance of participants' approximations (eq. 3)."""
         alive = self.alive_column(name)
@@ -355,6 +428,27 @@ class GossipEngine:
                 self._mask_version += 1
                 if self._dynamic:
                     self._free_slots.append(int(node_id))
+
+    # -- adversary -------------------------------------------------------
+
+    def _apply_adversary_state(self) -> None:
+        """The pre-exchange adversary hook: under an active
+        ``kind="inject"`` spec every adversarial participant resets its
+        whole row to the injected value before this cycle's exchanges
+        (the stubborn-node attack — the corruption then spreads through
+        ordinary gossip). The other kinds touch no state here: lying is
+        applied at observation time, partition/eclipse act on the
+        exchange plan."""
+        spec = self._adversary
+        if spec.kind != "inject" or not spec.active_at(self.cycle):
+            return
+        rows = np.flatnonzero(self._adv_mask & self._participant)
+        if len(rows) == 0:
+            return
+        # in-place matrix write — the pipelined sharded backend must
+        # drain any in-flight cycle first
+        self._backend.sync()
+        self._matrix[rows] = spec.value
 
     # -- churn -----------------------------------------------------------
 
@@ -399,6 +493,12 @@ class GossipEngine:
         if self._attributes is not None:
             self._attributes = np.vstack(
                 [self._attributes, np.zeros((grow, self._attributes.shape[1]))]
+            )
+        if self._adv_mask is not None:
+            # fresh capacity is always honest; recycled slots keep the
+            # departed node's flag (the attacker holds the position)
+            self._adv_mask = np.concatenate(
+                [self._adv_mask, np.zeros(grow, dtype=bool)]
             )
 
     def _admit(self, count: int) -> np.ndarray:
@@ -590,6 +690,8 @@ class GossipEngine:
                 self.crash(victims)
         if self._churn is not None:
             self._apply_churn()
+        if self._adversary is not None:
+            self._apply_adversary_state()
         rng = self._rng
         plan = self._plan
         plan.ensure(self.capacity)
@@ -614,12 +716,28 @@ class GossipEngine:
                 np.greater_equal(rng.random(count), loss, out=ok)
             else:
                 ok[:] = True
+            if self._adversary_partition and self._adversary.active_at(
+                self.cycle
+            ):
+                adv = self._adv_mask
+                ok &= ~(adv[initiators] ^ adv[partners])
         else:
             initiators = plan.initiators(self._alive, self._mask_version)
             count = len(initiators)
             partners = scenario.topology.random_neighbor_array(
                 initiators, rng, out=plan.partners[:count]
             )
+            if self._eclipse is not None and self._adversary.active_at(
+                self.cycle
+            ):
+                # eclipse capture: a victim's draw lands on its captor
+                # no matter which neighbor it picked. The draw itself
+                # still happens (same RNG consumption as without the
+                # adversary), only the result is overridden.
+                redirect = self._eclipse[initiators]
+                captured = redirect >= 0
+                if captured.any():
+                    partners[captured] = redirect[captured]
             if self._no_failure_filters and self._mask_version == 0:
                 # static fast path: every node alive (no crash has ever
                 # bumped the mask version) and nothing can fail an
@@ -647,6 +765,13 @@ class GossipEngine:
             partition = scenario.partition
             if partition is not None and partition.active_at(self.cycle):
                 ok &= ~partition.blocks_array(self.cycle, initiators, partners)
+            if self._adversary_partition and self._adversary.active_at(
+                self.cycle
+            ):
+                # targeted partition: exchanges crossing the
+                # honest/adversarial boundary fail
+                adv = self._adv_mask
+                ok &= ~(adv[initiators] ^ adv[partners])
         exch_i, exch_j = plan.compact(initiators, partners, ok)
         self._backend.apply_exchanges(
             self._matrix,

@@ -30,6 +30,7 @@ from ..topology.complete import CompleteTopology
 # definition moved to backends/registry.py, but this module was its
 # historical home (`from repro.kernel.scenario import BACKEND_NAMES`)
 from .backends import BACKEND_NAMES, parse_backend_spec  # noqa: F401
+from .adversary import AdversarySpec
 from .lifecycle import ChurnSpec, EpochSpec
 from .pairs import PairProtocolSpec, TheoremSAggregate
 
@@ -102,7 +103,16 @@ class Scenario:
         ``"avg"`` column, plus an ``"s"`` column when the spec tracks
         Theorem 1's parallel vector) and models the paper's
         failure-free §3 analysis setting — loss, crashes, partitions,
-        churn and epochs are rejected.
+        churn, epochs and adversaries are rejected.
+    adversary:
+        Optional :class:`~repro.kernel.adversary.AdversarySpec` — value
+        injection, byzantine (lying) responders, targeted partitions or
+        eclipse-style neighbor capture. Applied entirely by the engine
+        (adversary set drawn from the engine RNG, corruption as
+        engine-side matrix writes, filtering in the fused ok-mask pass),
+        so all backends stay bitwise-equal under any adversary
+        configuration. ``eclipse`` requires a static overlay (no
+        churn/epochs).
     cycles:
         Default cycle budget for :func:`run_scenario`-style drivers.
     seed:
@@ -131,6 +141,7 @@ class Scenario:
     churn: Optional[ChurnSpec] = None
     epochs: Optional[EpochSpec] = None
     pair_protocol: Optional[PairProtocolSpec] = None
+    adversary: Optional[AdversarySpec] = None
     cycles: int = 30
     seed: SeedLike = None
     backend: str = "auto"
@@ -205,6 +216,26 @@ class Scenario:
                     "overlay and require CompleteTopology (it fixes the "
                     f"initial size); got {type(self.topology).__name__}"
                 )
+        if self.adversary is not None:
+            if not isinstance(self.adversary, AdversarySpec):
+                raise ConfigurationError(
+                    f"adversary must be an AdversarySpec, got "
+                    f"{type(self.adversary).__name__}"
+                )
+            if self.adversary.kind == "eclipse" and self.is_dynamic:
+                raise ConfigurationError(
+                    "eclipse capture precomputes a static neighbor "
+                    "redirect table; churn/epoch scenarios draw partners "
+                    "uniformly among current participants, so there is "
+                    "no neighbor structure to capture"
+                )
+            if self.adversary.nodes is not None and any(
+                node >= self.topology.n for node in self.adversary.nodes
+            ):
+                raise ConfigurationError(
+                    f"adversary nodes {self.adversary.nodes} exceed the "
+                    f"topology size {self.topology.n}"
+                )
         if self.pair_protocol is not None:
             self._init_pair_mode()
 
@@ -223,12 +254,13 @@ class Scenario:
             or self.loss_schedule is not None
             or self.crash_plan is not None
             or self.partition is not None
+            or self.adversary is not None
             or self.is_dynamic
         ):
             raise ConfigurationError(
                 "pair-mode scenarios model the failure-free AVG of "
-                "Figure 2; loss, crash plans, partitions, churn and "
-                "epochs are not supported with pair_protocol"
+                "Figure 2; loss, crash plans, partitions, adversaries, "
+                "churn and epochs are not supported with pair_protocol"
             )
         spec.validate_topology(self.topology)
         # pair mode owns the instance layout; accept only the default

@@ -7,7 +7,11 @@ These encode the paper's structural guarantees:
   variance reduction step … does not change the sum");
 * monotone variance — no pair sequence can increase the variance;
 * contraction — values stay within the initial [min, max] envelope;
-* aggregate algebra — AGGREGATE functions are symmetric and bounded.
+* aggregate algebra — AGGREGATE functions are symmetric and bounded;
+* adversary restrictions — the §3 invariants restricted to honest
+  nodes survive any adversary the kernel can express (lying conserves
+  all mass, a targeted partition conserves honest mass, injection can
+  only move honest values inside the honest∪injected envelope).
 """
 
 import math
@@ -21,6 +25,7 @@ from repro.core import (
     MeanAggregate,
     MinAggregate,
 )
+from repro.kernel import AdversarySpec, GossipEngine, Scenario
 from repro.topology import CompleteTopology
 
 finite_floats = st.floats(
@@ -141,3 +146,91 @@ class TestAggregateProperties:
         assert agg.combine(agg.combine(x, y), z) == agg.combine(
             x, agg.combine(y, z)
         )
+
+
+# small networks and budgets: each example is a whole engine run
+adversary_values = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=8,
+    max_size=32,
+)
+
+
+def adversary_run(values, kind, fraction, seed, value=0.0, cycles=3):
+    scenario = Scenario(
+        CompleteTopology(len(values)),
+        np.asarray(values),
+        adversary=AdversarySpec(kind=kind, fraction=fraction, value=value),
+        seed=seed,
+        backend="reference",
+    )
+    engine = GossipEngine(scenario)
+    engine.run(cycles)
+    return engine
+
+
+class TestAdversaryInvariants:
+    """The §3 invariants, restricted to honest nodes, under adversaries."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        values=adversary_values,
+        fraction=st.floats(0.0, 0.5),
+        seed=st.integers(0, 2**31),
+    )
+    def test_lying_conserves_all_mass(self, values, fraction, seed):
+        """Byzantine reporting never touches state: the full §3.2 mass
+        invariant holds over *all* nodes, lies notwithstanding."""
+        engine = adversary_run(values, "lying", fraction, seed, value=1e9)
+        total = float(np.asarray(values).sum())
+        assert math.isclose(
+            float(engine.alive_column().sum()), total,
+            rel_tol=1e-9, abs_tol=1e-3,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        values=adversary_values,
+        fraction=st.floats(0.0, 0.5),
+        seed=st.integers(0, 2**31),
+    )
+    def test_partition_conserves_honest_mass(self, values, fraction, seed):
+        """A targeted partition seals the boundary, so the mass
+        invariant holds restricted to the honest block."""
+        engine = adversary_run(values, "partition", fraction, seed)
+        honest_total = float(np.asarray(values)[engine.honest_mask].sum())
+        assert math.isclose(
+            float(engine.honest_column().sum()), honest_total,
+            rel_tol=1e-9, abs_tol=1e-3,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        values=adversary_values,
+        fraction=st.floats(0.0, 1.0),
+        injected=st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        seed=st.integers(0, 2**31),
+    )
+    def test_inject_respects_extended_envelope(
+        self, values, fraction, injected, seed
+    ):
+        """Injection breaks mass conservation by design, but the §3
+        contraction envelope survives in extended form: every honest
+        value stays inside [min, max] of the initial values plus the
+        injected value — means of means cannot escape their inputs."""
+        engine = adversary_run(
+            values, "inject", fraction, seed, value=injected
+        )
+        honest = engine.honest_column()
+        if len(honest) == 0:
+            return
+        low = min(min(values), injected)
+        high = max(max(values), injected)
+        margin = 1e-9 * max(abs(low), abs(high), 1.0)
+        assert honest.min() >= low - margin
+        assert honest.max() <= high + margin

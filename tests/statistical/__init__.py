@@ -1,0 +1,9 @@
+"""Distribution-level acceptance tests.
+
+Bitwise backend equivalence (tests/kernel/) proves the backends agree;
+this layer checks the *numbers are right*: estimates from replicated
+seeded runs must land inside analytically predicted bands. Fast
+sanity checks run in tier-1; the deeper replications carry the
+``slow_statistical`` marker and are deselected by default (see
+pytest.ini).
+"""

@@ -1,0 +1,65 @@
+"""Seeded-CI assertion helpers for the statistical layer.
+
+Statistical tests must not flake, so every test here fixes its seeds
+and asserts against a normal-approximation confidence interval over
+the replicated estimates (``z = 2.58`` ≈ 99 %) rather than a bare
+tolerance. ``min_margin`` puts a floor under the band for
+near-deterministic estimators whose sample spread collapses to ~0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+
+#: 99 % two-sided normal quantile — tight enough to mean something,
+#: loose enough that a correct estimator essentially never trips it
+DEFAULT_Z = 2.58
+
+
+def ci_margin(
+    samples: Sequence[float], *, z: float = DEFAULT_Z, min_margin: float = 0.0
+) -> float:
+    """Half-width of the CI around the sample mean, floored."""
+    return max(z * summarize(samples).standard_error, min_margin)
+
+
+def assert_within_ci(
+    samples: Sequence[float],
+    expected: float,
+    *,
+    z: float = DEFAULT_Z,
+    min_margin: float = 0.0,
+    label: str = "estimate",
+) -> None:
+    """Assert ``expected`` lies inside the CI of ``samples``' mean."""
+    array = np.asarray(samples, dtype=np.float64)
+    assert np.isfinite(array).all(), f"{label}: non-finite samples {array}"
+    mean = float(array.mean())
+    margin = ci_margin(array, z=z, min_margin=min_margin)
+    assert abs(mean - expected) <= margin, (
+        f"{label}: mean {mean:.6g} of {len(array)} replications is not "
+        f"within {margin:.3g} of expected {expected:.6g} "
+        f"(samples {np.array2string(array, precision=4)})"
+    )
+
+
+def assert_relative_error_below(
+    samples: Sequence[float],
+    truth: float,
+    bound: float,
+    *,
+    label: str = "estimate",
+) -> None:
+    """Assert every replication's relative error stays under ``bound``."""
+    array = np.asarray(samples, dtype=np.float64)
+    errors = np.abs(array - truth) / abs(truth)
+    worst = float(errors.max())
+    assert worst <= bound, (
+        f"{label}: worst relative error {worst:.4f} over {len(array)} "
+        f"replications exceeds {bound} (samples "
+        f"{np.array2string(array, precision=4)})"
+    )
