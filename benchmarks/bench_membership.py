@@ -1,0 +1,196 @@
+"""Experiment M1 — kernel-hosted membership at million-node scale.
+
+Runs the Figure 4 workload — size estimation with epoch restarts under
+trace-driven diurnal churn (±10 % size wave, 0.1 % background
+turnover per cycle) — at N = 1 000 000 twice: once with the idealized
+uniform **oracle** partner draw and once with the **newscast**
+provider, where every aggregation partner comes from gossip-maintained
+20-entry partial views and no global oracle is consulted anywhere
+(§1.2's deployment shape). The benchmark reports the estimation error
+of both runs and the newscast-over-oracle wall-clock overhead ratio —
+the price of maintaining the views with batched exchanges through the
+execution backends.
+
+The benchmark also replays a scaled-down newscast configuration on all
+three backends and asserts that estimate trajectories, size traces AND
+final view matrices agree bitwise — the backend equivalence contract
+extends to membership state because every view exchange is an
+engine-planned, backend-executed batch.
+
+Acceptance target: the newscast N = 1 000 000 run keeps mean relative
+estimation error < 5 % (same bound as the oracle churn benchmark).
+Results land in ``benchmarks/out/BENCH_membership.json`` (paper-scale
+runs also refresh the git-tracked copy at the repo root). A smoke
+configuration (``--n 20000``) runs in seconds for CI.
+
+Run directly (``python benchmarks/bench_membership.py [--n N]``) or
+through pytest (``pytest benchmarks/bench_membership.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import Table
+from repro.core import SizeEstimationConfig, SizeEstimationExperiment
+from repro.kernel import ChurnTrace, NewscastSpec
+
+from _common import emit, emit_json
+
+N = 1_000_000
+CYCLES = 60
+EPOCH = 30
+VIEW_SIZE = 20
+SEED = 2004
+EQUIVALENCE_N = 600  # all-backend replay size
+EQUIVALENCE_BACKENDS = ("reference", "vectorized", "sharded:2")
+
+
+def figure4_experiment(n, *, cycles=CYCLES, epoch=EPOCH, membership=None,
+                       backend="auto", seed=SEED):
+    """Figure 4 under a trace-driven diurnal wave: size follows
+    ``n + (n/10)·sin``, with n/1000 paired join+leave events per cycle
+    of background turnover."""
+    config = SizeEstimationConfig(
+        cycles=cycles,
+        cycles_per_epoch=epoch,
+        initial_size=n,
+        expected_leaders=1.0,
+        seed=seed,
+    )
+    trace = ChurnTrace.diurnal(
+        n, cycles, period=max(cycles // 2, 2), amplitude=n // 10,
+        fluctuation=max(n // 1000, 1),
+    )
+    return SizeEstimationExperiment(
+        config, churn=trace, backend=backend, membership=membership,
+    )
+
+
+def equivalence_check(n=EQUIVALENCE_N, cycles=60):
+    """Replay one scaled-down newscast run per backend; bitwise-compare
+    estimates, size traces and the final view matrices."""
+    estimates, traces, views = [], [], []
+    for backend in EQUIVALENCE_BACKENDS:
+        experiment = figure4_experiment(
+            n, cycles=cycles, backend=backend,
+            membership=NewscastSpec(view_size=VIEW_SIZE), seed=SEED,
+        )
+        experiment.run()
+        estimates.append([r.estimate_mean for r in experiment.reports])
+        traces.append(experiment.size_trace)
+        # provider state survives engine close (it never aliases
+        # backend-owned storage)
+        views.append(experiment._engine.membership_views)
+    return bool(
+        all(e == estimates[0] for e in estimates)
+        and all(t == traces[0] for t in traces)
+        and all(np.array_equal(v, views[0]) for v in views)
+    )
+
+
+def timed_run(n, cycles, membership):
+    experiment = figure4_experiment(n, cycles=cycles, membership=membership)
+    start = time.perf_counter()
+    reports = experiment.run()
+    elapsed = time.perf_counter() - start
+    errors = [report.relative_error for report in reports]
+    return {
+        "backend": experiment.backend_name,
+        "seconds": elapsed,
+        "epochs_reported": len(reports),
+        "mean_relative_error": float(np.mean(errors)) if errors else None,
+        "max_relative_error": float(np.max(errors)) if errors else None,
+    }
+
+
+def compute_membership(n=N, cycles=CYCLES):
+    oracle = timed_run(n, cycles, None)
+    newscast = timed_run(n, cycles, NewscastSpec(view_size=VIEW_SIZE))
+    return {
+        "n": n,
+        "cycles": cycles,
+        "cycles_per_epoch": EPOCH,
+        "view_size": VIEW_SIZE,
+        "backend": newscast["backend"],
+        "oracle_seconds": oracle["seconds"],
+        "newscast_seconds": newscast["seconds"],
+        "overhead_ratio": newscast["seconds"] / oracle["seconds"],
+        "epochs_reported": newscast["epochs_reported"],
+        "oracle_mean_relative_error": oracle["mean_relative_error"],
+        "mean_relative_error": newscast["mean_relative_error"],
+        "max_relative_error": newscast["max_relative_error"],
+        "bitwise_equal_backends": equivalence_check(),
+    }
+
+
+def render(series):
+    table = Table(
+        headers=["metric", "value"],
+        title=(
+            f"M1: kernel-hosted membership — Figure 4 at N={series['n']}, "
+            f"{series['cycles']} cycles, {series['view_size']}-entry views "
+            f"({series['backend']} backend)"
+        ),
+    )
+    table.add_row("oracle seconds", series["oracle_seconds"])
+    table.add_row("newscast seconds", series["newscast_seconds"])
+    table.add_row("overhead ratio", series["overhead_ratio"])
+    table.add_row("epochs reported", series["epochs_reported"])
+    table.add_row("oracle mean rel. error", series["oracle_mean_relative_error"])
+    table.add_row("newscast mean rel. error", series["mean_relative_error"])
+    table.add_row("newscast max rel. error", series["max_relative_error"])
+    table.add_row("bitwise-equal backends", series["bitwise_equal_backends"])
+    return table.render()
+
+
+def check(series):
+    assert series["bitwise_equal_backends"], (
+        "backends diverged on the newscast value/view trajectories"
+    )
+    expected_epochs = series["cycles"] // series["cycles_per_epoch"]
+    assert expected_epochs > 0, (
+        f"--cycles {series['cycles']} completes no "
+        f"{series['cycles_per_epoch']}-cycle epoch; nothing to measure"
+    )
+    assert series["epochs_reported"] == expected_epochs
+    assert series["mean_relative_error"] < 0.05, (
+        f"newscast mean relative error {series['mean_relative_error']:.3f} "
+        f"exceeds the 5% acceptance bound"
+    )
+    assert series["oracle_mean_relative_error"] < 0.05, (
+        f"oracle mean relative error "
+        f"{series['oracle_mean_relative_error']:.3f} exceeds the 5% bound"
+    )
+
+
+def test_membership(benchmark, capsys):
+    series = benchmark.pedantic(compute_membership, rounds=1, iterations=1)
+    emit("membership", render(series), capsys)
+    emit_json("membership", series, archive=series["n"] >= N)
+    check(series)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=N)
+    parser.add_argument("--cycles", type=int, default=CYCLES)
+    args = parser.parse_args(argv)
+    series = compute_membership(args.n, args.cycles)
+    emit("membership", render(series), None)
+    # only acceptance-scale runs refresh the git-tracked archive;
+    # smoke sizes stay in benchmarks/out/
+    emit_json("membership", series, archive=args.n >= N)
+    check(series)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

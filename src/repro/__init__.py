@@ -78,7 +78,9 @@ from .avg import (
 from .kernel import (
     Scenario,
     ChurnSpec,
+    ChurnTrace,
     EpochSpec,
+    NewscastSpec,
     PairProtocolSpec,
     GossipEngine,
     KernelRunResult,
@@ -155,7 +157,9 @@ __all__ = [
     "RobustAverager",
     "Scenario",
     "ChurnSpec",
+    "ChurnTrace",
     "EpochSpec",
+    "NewscastSpec",
     "PairProtocolSpec",
     "GossipEngine",
     "KernelRunResult",

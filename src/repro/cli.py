@@ -59,6 +59,8 @@ from .core.service import AggregationService
 from .errors import BackendSpecError
 from .failures import OscillatingChurn
 from .kernel import GossipEngine, Scenario, parse_backend_spec
+from .kernel.lifecycle import ChurnTrace
+from .kernel.membership import MEMBERSHIP_NAMES
 from .rng import make_rng
 from .topology import CompleteTopology, RandomRegularTopology
 
@@ -216,6 +218,44 @@ def _cmd_figure3a(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure4_churn(args: argparse.Namespace):
+    """The churn model for ``figure4 --churn-trace``: the historical
+    closed-form oscillation, or a trace-driven workload replayed from
+    per-cycle join/leave counts (:class:`~repro.kernel.ChurnTrace`)."""
+    n, cycles = args.n, args.cycles
+    period = max(cycles // 2, 2)
+    fluctuation = max(n // 1000, 1)
+    kind = getattr(args, "churn_trace", "oscillating")
+    if kind == "oscillating":
+        return OscillatingChurn(n, n // 10, period=period,
+                                fluctuation=fluctuation)
+    if kind == "diurnal":
+        return ChurnTrace.diurnal(
+            n, cycles, period=period, amplitude=n // 10,
+            fluctuation=fluctuation,
+        )
+    if kind == "flash":
+        # quiet background turnover + a crowd of N/2 landing a third of
+        # the way in, decaying over roughly one epoch
+        base = ChurnTrace.diurnal(
+            n, cycles, period=period, amplitude=0, fluctuation=fluctuation
+        )
+        crowd = ChurnTrace.flash_crowd(
+            cycles, at=max(cycles // 3, 1), size=n // 2,
+            mean_stay=float(max(args.epoch, 2)), seed=args.seed,
+        )
+        return base.overlay(crowd)
+    if kind == "sessions":
+        # heavy turnover: sessions last ~2 epochs, arrivals sized to
+        # keep the population near N in steady state
+        mean_session = 2.0 * max(args.epoch, 1)
+        return ChurnTrace.sessions(
+            cycles, arrivals_per_cycle=n / mean_session,
+            mean_session=mean_session, seed=args.seed,
+        )
+    raise ValueError(f"unknown churn trace {kind!r}")
+
+
 def _cmd_figure4(args: argparse.Namespace) -> int:
     config = SizeEstimationConfig(
         cycles=args.cycles,
@@ -223,12 +263,9 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         initial_size=args.n,
         seed=args.seed,
     )
-    churn = OscillatingChurn(
-        args.n, args.n // 10, period=max(args.cycles // 2, 2),
-        fluctuation=max(args.n // 1000, 1),
-    )
     experiment = SizeEstimationExperiment(
-        config, churn=churn, backend=args.backend
+        config, churn=_figure4_churn(args), backend=args.backend,
+        membership=args.membership,
     )
     start = time.perf_counter()
     experiment.run()
@@ -237,7 +274,8 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         headers=["end cycle", "actual@start", "estimate", "rel. error"],
         title=(
             f"Figure 4: size estimation under churn, N={args.n} "
-            f"({experiment.backend_name} backend, {elapsed:.1f}s)"
+            f"({args.churn_trace} churn, {args.membership} membership, "
+            f"{experiment.backend_name} backend, {elapsed:.1f}s)"
         ),
     )
     for report in experiment.reports:
@@ -427,6 +465,19 @@ def build_parser() -> argparse.ArgumentParser:
     f4.add_argument("--epoch", type=int, default=30,
                     help="cycles per epoch")
     f4.add_argument("--seed", type=int, default=4)
+    f4.add_argument(
+        "--membership", choices=list(MEMBERSHIP_NAMES), default="oracle",
+        help="partner-draw layer: the idealized uniform oracle or "
+             "Newscast partial views (no global oracle anywhere)",
+    )
+    f4.add_argument(
+        "--churn-trace",
+        choices=["oscillating", "diurnal", "flash", "sessions"],
+        default="oscillating",
+        help="churn workload: the historical closed-form oscillation, "
+             "or a trace-driven diurnal wave / flash crowd / session "
+             "workload replayed from per-cycle join+leave counts",
+    )
     _add_backend_options(f4)
     f4.set_defaults(func=_cmd_figure4)
 

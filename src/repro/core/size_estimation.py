@@ -117,6 +117,12 @@ class SizeEstimationExperiment:
         Kernel execution backend (``"auto"``, ``"reference"`` or
         ``"vectorized"``). Both produce bitwise-identical trajectories;
         pass ``"vectorized"`` (or keep ``"auto"``) at paper scale.
+    membership:
+        Partner-draw layer (``Scenario.membership``): ``None`` /
+        ``"oracle"`` for the idealized uniform draw, ``"newscast"`` or
+        a :class:`~repro.kernel.membership.NewscastSpec` to sample
+        partners from gossip-maintained partial views — the deployment
+        shape of §1.2, with no global oracle anywhere.
     """
 
     def __init__(
@@ -125,10 +131,12 @@ class SizeEstimationExperiment:
         *,
         churn: Optional[ChurnModel] = None,
         backend: str = "auto",
+        membership=None,
     ):
         self.config = config
         self.churn = churn if churn is not None else NoChurn()
         self._backend = backend
+        self._membership = membership
         self._engine: Optional[GossipEngine] = None
         self._instances = 0
         # outputs
@@ -228,6 +236,7 @@ class SizeEstimationExperiment:
                 reseed=self._reseed,
                 finalize=self._finalize,
             ),
+            membership=self._membership,
             cycles=config.cycles,
             seed=config.seed,
             backend=self._backend,

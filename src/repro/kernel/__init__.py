@@ -39,9 +39,18 @@ from .robust import (
 )
 from .lifecycle import (
     ChurnSpec,
+    ChurnTrace,
     EpochRestart,
     EpochSpec,
     EpochView,
+)
+from .membership import (
+    MEMBERSHIP_NAMES,
+    NewscastProvider,
+    NewscastSpec,
+    NewscastViews,
+    OracleProvider,
+    PartnerProvider,
 )
 from .pairs import (
     PAIR_SELECTOR_NAMES,
@@ -80,9 +89,16 @@ __all__ = [
     "BACKEND_NAMES",
     "Scenario",
     "ChurnSpec",
+    "ChurnTrace",
     "EpochRestart",
     "EpochSpec",
     "EpochView",
+    "MEMBERSHIP_NAMES",
+    "NewscastProvider",
+    "NewscastSpec",
+    "NewscastViews",
+    "OracleProvider",
+    "PartnerProvider",
     "PAIR_SELECTOR_NAMES",
     "PairProtocolSpec",
     "TheoremSAggregate",

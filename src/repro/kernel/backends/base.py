@@ -227,6 +227,118 @@ def apply_sequential(
             matrix[j, c] = combined
 
 
+def _first_distinct_batch(candidates: np.ndarray, view_size: int) -> np.ndarray:
+    """Per row: the first ``view_size`` distinct entries in candidate
+    order, padded with the remaining duplicates (in order) when fewer
+    distinct values exist. Vectorized as two argsorts: one by value to
+    flag repeat occurrences, one by the flag to stably partition first
+    occurrences ahead of repeats. The value sort composes (value,
+    column) into one int64 key so a plain quicksort yields the stable
+    order — numpy's stable radix path is ~4x slower at this row width.
+    """
+    width = candidates.shape[1]
+    keys = candidates.astype(np.int64) * width + np.arange(width)
+    order = np.argsort(keys, axis=1)
+    ranked = np.take_along_axis(candidates, order, axis=1)
+    dup_ranked = np.zeros(candidates.shape, dtype=bool)
+    dup_ranked[:, 1:] = ranked[:, 1:] == ranked[:, :-1]
+    dup = np.empty_like(dup_ranked)
+    np.put_along_axis(dup, order, dup_ranked, axis=1)
+    keep = np.argsort(dup, axis=1, kind="stable")[:, :view_size]
+    return np.take_along_axis(candidates, keep, axis=1)
+
+
+def _first_distinct_row(candidates: list, view_size: int) -> list:
+    """Scalar counterpart of :func:`_first_distinct_batch`: first
+    occurrences in order, then duplicates in order, truncated."""
+    seen = set()
+    firsts = []
+    repeats = []
+    for entry in candidates:
+        if entry in seen:
+            repeats.append(entry)
+        else:
+            seen.add(entry)
+            firsts.append(entry)
+    firsts += repeats
+    return firsts[:view_size]
+
+
+def merge_views_batch(
+    views: np.ndarray,
+    batch_a: np.ndarray,
+    batch_b: np.ndarray,
+) -> None:
+    """Apply one node-disjoint batch of Newscast view exchanges.
+
+    For each pair ``(a, b)`` both rows of ``views`` (recency-ordered,
+    youngest first) are rebuilt from the candidate sequence
+    ``[partner, own[0], partner's[0], own[1], partner's[1], …]`` with
+    self-entries rewritten to the partner, keeping the first
+    ``view_size`` *distinct* candidates (duplicates only pad the tail
+    if the two views overlap so much that distinct candidates run out).
+    The dedup is what keeps views diverse — without it repeated
+    exchanges between acquainted nodes collapse views onto a handful of
+    peers. Pure integer column ops — the int32 analogue of
+    :func:`apply_disjoint_batch` — so batching versus one-at-a-time
+    application is trivially bitwise-identical.
+    """
+    if len(batch_a) == 0:
+        return
+    view_size = views.shape[1]
+    m = len(batch_a)
+    rows_a = views[batch_a]
+    rows_b = views[batch_b]
+    cand_a = np.empty((m, 2 * view_size + 1), dtype=views.dtype)
+    cand_b = np.empty((m, 2 * view_size + 1), dtype=views.dtype)
+    cand_a[:, 0] = batch_b
+    cand_b[:, 0] = batch_a
+    cand_a[:, 1::2] = rows_a
+    cand_a[:, 2::2] = rows_b
+    cand_b[:, 1::2] = rows_b
+    cand_b[:, 2::2] = rows_a
+    col_a = np.asarray(batch_a, dtype=views.dtype)[:, None]
+    col_b = np.asarray(batch_b, dtype=views.dtype)[:, None]
+    np.copyto(cand_a, col_b, where=cand_a == col_a)
+    np.copyto(cand_b, col_a, where=cand_b == col_b)
+    views[batch_a] = _first_distinct_batch(cand_a, view_size)
+    views[batch_b] = _first_distinct_batch(cand_b, view_size)
+
+
+def merge_views_sequential(
+    views: np.ndarray,
+    steps_a: np.ndarray,
+    steps_b: np.ndarray,
+) -> None:
+    """Apply view exchanges one at a time, in step order.
+
+    The scalar counterpart of :func:`merge_views_batch` for conflicted
+    window tails, computed over plain Python lists (per-row numpy calls
+    cost more than the merge itself). The interleave, the self-rewrite
+    and the first-distinct selection replicate the batch arithmetic
+    exactly, so mixing the two over an order-preserving segmentation
+    stays bitwise-identical to sequential execution — integer ops need
+    no IEEE caveat.
+    """
+    view_size = views.shape[1]
+    for a, b in zip(steps_a.tolist(), steps_b.tolist()):
+        row_a = views[a].tolist()
+        row_b = views[b].tolist()
+        cand_a = [b]
+        cand_b = [a]
+        for src in range(view_size):
+            cand_a.append(row_a[src])
+            cand_a.append(row_b[src])
+            cand_b.append(row_b[src])
+            cand_b.append(row_a[src])
+        views[a] = _first_distinct_row(
+            [b if x == a else x for x in cand_a], view_size
+        )
+        views[b] = _first_distinct_row(
+            [a if x == b else x for x in cand_b], view_size
+        )
+
+
 class ExecutionBackend(ABC):
     """Applies one cycle's successful exchanges to the value matrix."""
 
@@ -280,6 +392,26 @@ class ExecutionBackend(ABC):
         self.apply_exchanges(
             matrix, functions, pairs_i, pairs_j, cycle=cycle, trace=trace
         )
+
+    def apply_view_exchanges(
+        self,
+        views: np.ndarray,
+        exch_i: np.ndarray,
+        exch_j: np.ndarray,
+    ) -> None:
+        """Apply one cycle's Newscast view exchanges, in step order.
+
+        ``views`` is the membership layer's int32 ``(capacity,
+        view_size)`` partial-view matrix — engine-hosted state like the
+        alive mask, never aliased with the backend's value matrix.
+        That separation makes this call ``sync()``-safe: the sharded
+        backend may merge views in the parent while a pipelined value
+        cycle is still in flight on its workers. The base
+        implementation is the sequential reference semantics; batched
+        backends re-segment through the same node-disjoint primitives
+        as value exchanges and stay bitwise-identical.
+        """
+        merge_views_sequential(views, exch_i, exch_j)
 
     def adopt_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """Engine hand-off hook: take ownership of storing ``matrix``.

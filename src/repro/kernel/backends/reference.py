@@ -14,7 +14,12 @@ from .base import ExecutionBackend
 class ReferenceBackend(ExecutionBackend):
     """Sequential exchange-order execution — the semantic oracle: a
     plain Python loop in exchange order, structurally the same code the
-    original ``CycleSimulator`` ran. Kept honest and simple."""
+    original ``CycleSimulator`` ran. Kept honest and simple.
+
+    Newscast view exchanges use the base-class
+    :meth:`~.base.ExecutionBackend.apply_view_exchanges` unchanged —
+    the one-merge-at-a-time step-order loop *is* the reference
+    semantics the batched backends are checked against."""
 
     name = "reference"
 

@@ -777,6 +777,24 @@ class ShardedBackend(ExecutionBackend):
             self._vector = VectorizedBackend(chunk=self._chunk)
         return self._vector
 
+    def apply_view_exchanges(
+        self,
+        views: np.ndarray,
+        exch_i: np.ndarray,
+        exch_j: np.ndarray,
+    ) -> None:
+        """Newscast view merges, applied parent-side.
+
+        The view matrix is engine-hosted state like the alive mask —
+        workers never draw randomness and never see the overlay, and
+        that does not change when the overlay is gossip-maintained.
+        Merging in the parent shares no storage with the shared value
+        segment, so it is ``sync()``-safe and overlaps a pipelined
+        value cycle still in flight on the workers for free. The
+        greedy-segmented vectorized path keeps the matrix
+        bitwise-identical across backends and worker counts."""
+        self._ensure_vector().apply_view_exchanges(views, exch_i, exch_j)
+
     # -- the backend contract ---------------------------------------------
 
     def apply_exchanges(

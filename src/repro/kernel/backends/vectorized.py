@@ -15,6 +15,8 @@ from .base import (
     apply_disjoint_batch,
     apply_sequential,
     iter_greedy_segments,
+    merge_views_batch,
+    merge_views_sequential,
     resolve_chunk,
 )
 
@@ -118,6 +120,33 @@ class VectorizedBackend(ExecutionBackend):
                 self._apply_greedy(
                     matrix, functions, pi[start:end], pj[start:end], window,
                 )
+
+    def apply_view_exchanges(
+        self,
+        views: np.ndarray,
+        exch_i: np.ndarray,
+        exch_j: np.ndarray,
+    ) -> None:
+        """Newscast view merges through the same chunked greedy
+        segmentation as value exchanges — node-disjoint batches via
+        :func:`~.base.merge_views_batch`, conflicted window tails via
+        :func:`~.base.merge_views_sequential` — which is what keeps the
+        view matrix bitwise-identical to the sequential reference
+        execution."""
+        pending_i = np.ascontiguousarray(exch_i, dtype=np.int32)
+        pending_j = np.ascontiguousarray(exch_j, dtype=np.int32)
+        if len(pending_i) == 0:
+            return
+        position = self._position_scratch(views.shape[0])
+        flat_buffer, slot_numbers = self._chunk_buffers(2 * self._chunk)
+        for kind, chunk_i, chunk_j in iter_greedy_segments(
+            pending_i, pending_j, position, flat_buffer, slot_numbers,
+            self._chunk, GREEDY_TAIL,
+        ):
+            if kind == SEGMENT_SEQUENTIAL:
+                merge_views_sequential(views, chunk_i, chunk_j)
+            else:
+                merge_views_batch(views, chunk_i, chunk_j)
 
     def _apply_greedy(
         self, matrix, functions, pending_i, pending_j, window

@@ -22,7 +22,14 @@ stochastic and everything stateful:
   they participate),
 * the cycle's randomness as batched draws (partner picks, loss coins,
   churn departures, restart re-seeding), identical no matter which
-  backend executes, and
+  backend executes,
+* the partner draws themselves, delegated to a pluggable
+  :class:`~repro.kernel.membership.PartnerProvider`: the default
+  :class:`~repro.kernel.membership.OracleProvider` reproduces the
+  historical topology/uniform draws bit for bit, while
+  :class:`~repro.kernel.membership.NewscastProvider` draws from
+  gossip-maintained partial views refreshed through the backend's
+  node-disjoint batch primitives — no global membership oracle, and
 * the remaining failure machinery (crash plan, loss schedule,
   partition), and
 * the declarative adversary
@@ -61,6 +68,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..rng import make_rng
 from .backends import ExecutionBackend, make_backend
 from .lifecycle import EpochRestart, EpochView
+from .membership import PartnerProvider, build_provider
 from .pairs import PairDraw
 from .scenario import Scenario
 
@@ -138,11 +146,20 @@ class CyclePlan:
         self.out_j = np.empty(capacity, dtype=np.int32)
         self._initiators = None
 
-    def initiators(self, mask: np.ndarray, version: int) -> np.ndarray:
+    def initiators(
+        self,
+        mask: np.ndarray,
+        version: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """The compacted indices of ``mask``, cached until ``version``
         changes (static runs pay the O(capacity) scan once, not per
-        cycle)."""
+        cycle). ``exclude`` drops slots that must not initiate — nodes
+        isolated by a zero-degree overlay row stay alive (their value
+        still counts) but have nobody to draw."""
         if self._initiators is None or self._version != version:
+            if exclude is not None:
+                mask = mask & ~exclude
             self._initiators = np.flatnonzero(mask).astype(np.int32)
             self._version = version
         return self._initiators
@@ -227,6 +244,23 @@ class GossipEngine:
         self._free_slots: List[int] = []
         # next never-used slot (== capacity until the matrix grows)
         self._top = scenario.n
+        # nodes with a zero-degree overlay row (possible in hand-built
+        # or very sparse random adjacency overlays) stay alive — their
+        # value still counts toward the true aggregate — but are
+        # excluded from initiating: they have no neighbor to draw, and
+        # the CSR draw used to raise from deep inside the batch
+        self._isolated: Optional[np.ndarray] = None
+        if not self._dynamic:
+            isolated = scenario.topology.isolated_mask()
+            if isolated is not None and isolated.any():
+                self._isolated = isolated
+        # the partner-draw layer: bound after the adversary draw so the
+        # oracle provider (which consumes no RNG here) reproduces the
+        # historical construction-time RNG stream exactly, and any
+        # provider bootstrap randomness (newscast views) lands at a
+        # fixed, backend-independent point in the stream
+        self._provider: PartnerProvider = build_provider(scenario.membership)
+        self._provider.bind(self)
         # per-slot base attribute values, the reseed source for the
         # default "restart from current local values" epoch protocol
         # (a custom reseed may change the instance count, so attributes
@@ -304,6 +338,23 @@ class GossipEngine:
         """Instance ids in column order (positional ids after an epoch
         restart changed the instance count)."""
         return self._names
+
+    @property
+    def partner_provider(self) -> PartnerProvider:
+        """The bound partner-draw layer (oracle or newscast)."""
+        return self._provider
+
+    @property
+    def membership_name(self) -> str:
+        """Name of the active partner provider."""
+        return self._provider.name
+
+    @property
+    def membership_views(self) -> Optional[np.ndarray]:
+        """The provider's partial-view matrix (copy), or ``None`` for
+        the oracle. Safe to read mid-run: view state never aliases
+        backend-owned storage, so no sync is needed."""
+        return self._provider.view_matrix
 
     @property
     def matrix(self) -> np.ndarray:
@@ -419,6 +470,7 @@ class GossipEngine:
     def crash(self, node_ids: Sequence[int]) -> None:
         """Crash-stop nodes; their approximations leave the system and
         (under churn) their slots become recyclable."""
+        version = self._mask_version
         for node_id in node_ids:
             if not 0 <= node_id < self.capacity:
                 raise ConfigurationError(f"node id {node_id} out of range")
@@ -428,6 +480,8 @@ class GossipEngine:
                 self._mask_version += 1
                 if self._dynamic:
                     self._free_slots.append(int(node_id))
+        if self._mask_version != version:
+            self._provider.on_mask_change(self._mask_version)
 
     # -- adversary -------------------------------------------------------
 
@@ -468,6 +522,7 @@ class GossipEngine:
             self._participant[leavers] = False
             self._mask_version += 1
             self._free_slots.extend(int(s) for s in leavers)
+            self._provider.on_mask_change(self._mask_version)
         if step.joins > 0:
             self._admit(int(step.joins))
 
@@ -500,6 +555,9 @@ class GossipEngine:
             self._adv_mask = np.concatenate(
                 [self._adv_mask, np.zeros(grow, dtype=bool)]
             )
+        # provider-held per-node state (newscast view rows) grows with
+        # the same geometric schedule
+        self._provider.grow(new_capacity)
 
     def _admit(self, count: int) -> np.ndarray:
         """Admit ``count`` joiners: recycle departed slots (LIFO), then
@@ -558,6 +616,12 @@ class GossipEngine:
         self._matrix[seed_slots] = seed_rows
         if self._attributes is not None:
             self._attributes[seed_slots] = seed_rows
+        # membership hooks last, after the joiners' values landed: the
+        # provider may draw bootstrap randomness (newscast contact
+        # lists) — a fixed point in the stream either way, and a no-op
+        # for the oracle
+        self._provider.on_mask_change(self._mask_version)
+        self._provider.on_join(slots, self._rng)
         return slots
 
     # -- epochs ----------------------------------------------------------
@@ -570,6 +634,7 @@ class GossipEngine:
         self.epoch += 1
         np.copyto(self._participant, self._alive)
         self._mask_version += 1
+        self._provider.on_mask_change(self._mask_version)
         participants = np.nonzero(self._participant)[0]
         self._epoch_start_cycle = cycle
         self._size_at_epoch_start = len(participants)
@@ -695,37 +760,47 @@ class GossipEngine:
         rng = self._rng
         plan = self._plan
         plan.ensure(self.capacity)
+        provider = self._provider
         if self._dynamic:
-            # the paper's uniform overlay over current participants:
-            # each initiator draws a uniformly random *other*
-            # participant (self-picks shift to the next position)
+            # dynamic overlays draw among current participants — the
+            # oracle provider uniformly (the paper's uniform overlay,
+            # self-picks shifted), newscast from its partial views
             initiators = plan.initiators(self._participant, self._mask_version)
             count = len(initiators)
             if count < 2:
                 self.cycle += 1
                 return 0
-            positions = rng.integers(0, count, size=count)
-            clash = positions == np.arange(count)
-            if clash.any():
-                positions[clash] = (positions[clash] + 1) % count
-            partners = plan.partners[:count]
-            np.take(initiators, positions, out=partners)
+            provider.begin_cycle(initiators, self._alive, rng)
+            partners = provider.draw(
+                initiators, rng, plan.partners[:count]
+            )
             ok = plan.ok[:count]
             loss = scenario.loss_at(self.cycle)
-            if loss > 0.0:
-                np.greater_equal(rng.random(count), loss, out=ok)
+            if provider.draws_valid_participants:
+                if loss > 0.0:
+                    np.greater_equal(rng.random(count), loss, out=ok)
+                else:
+                    ok[:] = True
             else:
-                ok[:] = True
+                # view draws can land on departed or not-yet-restarted
+                # nodes — contacting one fails the exchange, exactly
+                # like contacting a crashed neighbor on a static overlay
+                np.take(self._participant, partners, out=ok)
+                if loss > 0.0:
+                    ok &= rng.random(count) >= loss
             if self._adversary_partition and self._adversary.active_at(
                 self.cycle
             ):
                 adv = self._adv_mask
                 ok &= ~(adv[initiators] ^ adv[partners])
         else:
-            initiators = plan.initiators(self._alive, self._mask_version)
+            initiators = plan.initiators(
+                self._alive, self._mask_version, exclude=self._isolated
+            )
             count = len(initiators)
-            partners = scenario.topology.random_neighbor_array(
-                initiators, rng, out=plan.partners[:count]
+            provider.begin_cycle(initiators, self._alive, rng)
+            partners = provider.draw(
+                initiators, rng, plan.partners[:count]
             )
             if self._eclipse is not None and self._adversary.active_at(
                 self.cycle

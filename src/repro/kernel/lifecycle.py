@@ -39,10 +39,215 @@ import numpy as np
 
 from ..core.aggregates import AggregateFunction, MeanAggregate
 from ..errors import ConfigurationError
-from ..failures.churn import ChurnModel
+from ..failures.churn import ChurnModel, ChurnStep
+from ..rng import SeedLike, make_rng
 
 #: accepted :attr:`ChurnSpec.rejoin` policies
 REJOIN_POLICIES = ("reset", "keep")
+
+
+class ChurnTrace(ChurnModel):
+    """Data-driven churn: per-cycle join/leave counts from a trace.
+
+    Where ``ConstantRateChurn``/``OscillatingChurn`` *sample* lifecycle
+    events from rates each cycle, a trace *replays* them: the model
+    holds one join count and one leave count per cycle, precomputed
+    from session data (per-node join/leave timestamps, session-length
+    distributions) or from the scripted generators below. Past the end
+    of the trace the network is quiescent. Plugs into the existing
+    machinery unchanged — ``ChurnSpec(model=ChurnTrace(...))`` — so
+    the engine's alive-mask growth/shrink, slot recycling and joiner
+    seeding all run from data instead of Bernoulli draws.
+
+    Generators: :meth:`from_events` (event timestamps),
+    :meth:`from_sessions` (arrival cycle + session length per node),
+    :meth:`sessions` (Poisson arrivals with geometric session
+    lengths), :meth:`flash_crowd` (a mass join burst whose members
+    leave as their sessions expire) and :meth:`diurnal` (a day/night
+    size wave as data — the trace-driven counterpart of
+    ``OscillatingChurn``).
+    """
+
+    def __init__(self, joins, leaves):
+        joins = np.asarray(joins, dtype=np.int64)
+        leaves = np.asarray(leaves, dtype=np.int64)
+        if joins.ndim != 1 or leaves.ndim != 1:
+            raise ConfigurationError(
+                "ChurnTrace joins/leaves must be 1-D per-cycle counts"
+            )
+        if len(joins) != len(leaves):
+            raise ConfigurationError(
+                f"ChurnTrace joins ({len(joins)}) and leaves "
+                f"({len(leaves)}) must cover the same cycles"
+            )
+        if len(joins) and (joins.min() < 0 or leaves.min() < 0):
+            raise ConfigurationError(
+                "ChurnTrace counts must be non-negative"
+            )
+        self._joins = joins
+        self._leaves = leaves
+
+    @property
+    def cycles(self) -> int:
+        """Cycles covered by the trace (quiescent afterwards)."""
+        return len(self._joins)
+
+    @property
+    def joins(self) -> np.ndarray:
+        return self._joins.copy()
+
+    @property
+    def leaves(self) -> np.ndarray:
+        return self._leaves.copy()
+
+    def step(self, cycle: int, current_size: int) -> ChurnStep:
+        if cycle < 0 or cycle >= len(self._joins):
+            return ChurnStep(0, 0)
+        leaves = min(int(self._leaves[cycle]), max(current_size - 1, 0))
+        return ChurnStep(int(self._joins[cycle]), leaves)
+
+    # -- generators -------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, join_cycles, leave_cycles, *,
+                    cycles: Optional[int] = None) -> "ChurnTrace":
+        """From raw event timestamps: one entry per join/leave event,
+        in cycles (fractions are floored). Events at or past ``cycles``
+        (default: just past the last event) are dropped — a session
+        that outlives the trace simply never leaves."""
+        join_cycles = np.floor(np.asarray(join_cycles, dtype=np.float64))
+        leave_cycles = np.floor(np.asarray(leave_cycles, dtype=np.float64))
+        if cycles is None:
+            last = -1.0
+            if len(join_cycles):
+                last = max(last, join_cycles.max())
+            if len(leave_cycles):
+                last = max(last, leave_cycles.max())
+            cycles = int(last) + 1 if last >= 0 else 0
+        joins = np.zeros(cycles, dtype=np.int64)
+        leaves = np.zeros(cycles, dtype=np.int64)
+        for events, counts in ((join_cycles, joins), (leave_cycles, leaves)):
+            kept = events[(events >= 0) & (events < cycles)].astype(np.int64)
+            if len(kept):
+                counts += np.bincount(kept, minlength=cycles)
+        return cls(joins, leaves)
+
+    @classmethod
+    def from_sessions(cls, arrivals, durations, *,
+                      cycles: Optional[int] = None) -> "ChurnTrace":
+        """From per-node sessions: node ``i`` joins at ``arrivals[i]``
+        and leaves ``durations[i]`` cycles later."""
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        durations = np.asarray(durations, dtype=np.float64)
+        if arrivals.shape != durations.shape:
+            raise ConfigurationError(
+                "from_sessions needs one duration per arrival"
+            )
+        if len(durations) and durations.min() < 0:
+            raise ConfigurationError("session durations must be >= 0")
+        return cls.from_events(
+            arrivals, arrivals + durations, cycles=cycles
+        )
+
+    @classmethod
+    def sessions(cls, cycles: int, *, arrivals_per_cycle: float,
+                 mean_session: float,
+                 seed: SeedLike = None) -> "ChurnTrace":
+        """A sampled session workload: Poisson(``arrivals_per_cycle``)
+        joins per cycle, each session's length geometric with mean
+        ``mean_session`` — the classic heavy-turnover P2P model. The
+        sampling happens *here*, once; the resulting trace replays
+        deterministically regardless of scenario seed or backend."""
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        if arrivals_per_cycle < 0 or mean_session <= 0:
+            raise ConfigurationError(
+                "arrivals_per_cycle must be >= 0 and mean_session > 0"
+            )
+        rng = make_rng(seed)
+        counts = rng.poisson(arrivals_per_cycle, size=cycles)
+        arrivals = np.repeat(np.arange(cycles, dtype=np.float64), counts)
+        durations = rng.geometric(
+            min(1.0 / mean_session, 1.0), size=len(arrivals)
+        ).astype(np.float64)
+        return cls.from_sessions(arrivals, durations, cycles=cycles)
+
+    @classmethod
+    def flash_crowd(cls, cycles: int, *, at: int, size: int,
+                    mean_stay: float,
+                    seed: SeedLike = None) -> "ChurnTrace":
+        """A flash crowd: ``size`` nodes join together at cycle ``at``
+        and each stays a geometric number of cycles with mean
+        ``mean_stay``, so the crowd decays exponentially after the
+        burst. Stack with a base trace via :meth:`overlay`."""
+        if not 0 <= at < cycles:
+            raise ConfigurationError(
+                f"flash-crowd cycle {at} outside trace of {cycles} cycles"
+            )
+        if size < 0 or mean_stay <= 0:
+            raise ConfigurationError(
+                "flash-crowd size must be >= 0 and mean_stay > 0"
+            )
+        rng = make_rng(seed)
+        arrivals = np.full(size, float(at))
+        durations = rng.geometric(
+            min(1.0 / mean_stay, 1.0), size=size
+        ).astype(np.float64)
+        return cls.from_sessions(arrivals, durations, cycles=cycles)
+
+    @classmethod
+    def diurnal(cls, n: int, cycles: int, *, period: int,
+                amplitude: int, fluctuation: int = 0,
+                seed: SeedLike = None) -> "ChurnTrace":
+        """A day/night wave as data: the network size follows
+        ``n + amplitude * sin(2π cycle / period)`` with ``fluctuation``
+        extra paired join/leave events per cycle (background turnover
+        that keeps membership churning even at constant size). The
+        trace-driven counterpart of
+        :class:`~repro.failures.churn.OscillatingChurn`.
+        """
+        if cycles < 1 or period < 1:
+            raise ConfigurationError("cycles and period must be >= 1")
+        if amplitude < 0 or fluctuation < 0:
+            raise ConfigurationError(
+                "amplitude and fluctuation must be >= 0"
+            )
+        if amplitude >= n:
+            raise ConfigurationError(
+                f"amplitude {amplitude} would drive the size below zero"
+            )
+        targets = n + amplitude * np.sin(
+            2.0 * np.pi * np.arange(1, cycles + 1) / period
+        )
+        targets = np.rint(targets).astype(np.int64)
+        joins = np.zeros(cycles, dtype=np.int64)
+        leaves = np.zeros(cycles, dtype=np.int64)
+        size = n
+        for cycle in range(cycles):
+            delta = int(targets[cycle]) - size
+            joins[cycle] = fluctuation + max(delta, 0)
+            leaves[cycle] = fluctuation + max(-delta, 0)
+            size = targets[cycle]
+        return cls(joins, leaves)
+
+    def overlay(self, other: "ChurnTrace") -> "ChurnTrace":
+        """Superimpose another trace (e.g. a flash crowd on a diurnal
+        base); the result covers the longer of the two."""
+        cycles = max(self.cycles, other.cycles)
+        joins = np.zeros(cycles, dtype=np.int64)
+        leaves = np.zeros(cycles, dtype=np.int64)
+        joins[: self.cycles] += self._joins
+        leaves[: self.cycles] += self._leaves
+        joins[: other.cycles] += other._joins
+        leaves[: other.cycles] += other._leaves
+        return ChurnTrace(joins, leaves)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChurnTrace(cycles={self.cycles}, "
+            f"joins={int(self._joins.sum())}, "
+            f"leaves={int(self._leaves.sum())})"
+        )
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ from ..topology.complete import CompleteTopology
 from .backends import BACKEND_NAMES, parse_backend_spec  # noqa: F401
 from .adversary import AdversarySpec
 from .lifecycle import ChurnSpec, EpochSpec
+from .membership import NewscastSpec, resolve_membership
 from .pairs import PairProtocolSpec, TheoremSAggregate
 
 #: ``auto`` switches to the vectorized backend at and above this size.
@@ -113,6 +114,20 @@ class Scenario:
         so all backends stay bitwise-equal under any adversary
         configuration. ``eclipse`` requires a static overlay (no
         churn/epochs).
+    membership:
+        How partner draws are produced — the
+        :class:`~repro.kernel.membership.PartnerProvider` layer.
+        ``None``/``"oracle"`` (default) keeps the historical draws:
+        topology neighbors on static overlays, uniform among current
+        participants under churn/epochs. ``"newscast"`` (or a
+        :class:`~repro.kernel.membership.NewscastSpec`) replaces the
+        oracle with gossip-maintained partial views: partners come
+        from each node's Newscast view, refreshed by view exchanges
+        on the engine — no global membership oracle anywhere.
+        Newscast requires :class:`CompleteTopology` (it supplies its
+        own overlay; a CSR overlay underneath it would be ignored)
+        and is rejected with ``pair_protocol`` and the ``eclipse``
+        adversary (both assume the oracle's draw structure).
     cycles:
         Default cycle budget for :func:`run_scenario`-style drivers.
     seed:
@@ -142,6 +157,7 @@ class Scenario:
     epochs: Optional[EpochSpec] = None
     pair_protocol: Optional[PairProtocolSpec] = None
     adversary: Optional[AdversarySpec] = None
+    membership: Optional[object] = None
     cycles: int = 30
     seed: SeedLike = None
     backend: str = "auto"
@@ -216,6 +232,22 @@ class Scenario:
                     "overlay and require CompleteTopology (it fixes the "
                     f"initial size); got {type(self.topology).__name__}"
                 )
+        # normalize membership to None (oracle) or a NewscastSpec;
+        # raises on unknown names/objects
+        object.__setattr__(
+            self, "membership", resolve_membership(self.membership)
+        )
+        if self.membership is not None:
+            if not isinstance(self.topology, CompleteTopology):
+                raise ConfigurationError(
+                    "newscast membership supplies its own overlay and "
+                    "requires CompleteTopology (it fixes the initial "
+                    f"size); got {type(self.topology).__name__}"
+                )
+            if self.n < 2:
+                raise ConfigurationError(
+                    "newscast membership needs at least two nodes"
+                )
         if self.adversary is not None:
             if not isinstance(self.adversary, AdversarySpec):
                 raise ConfigurationError(
@@ -228,6 +260,15 @@ class Scenario:
                     "redirect table; churn/epoch scenarios draw partners "
                     "uniformly among current participants, so there is "
                     "no neighbor structure to capture"
+                )
+            if (
+                self.adversary.kind == "eclipse"
+                and self.membership is not None
+            ):
+                raise ConfigurationError(
+                    "eclipse capture redirects oracle topology draws; "
+                    "with newscast membership the overlay is the views "
+                    "themselves, so there is no draw table to capture"
                 )
             if self.adversary.nodes is not None and any(
                 node >= self.topology.n for node in self.adversary.nodes
@@ -255,12 +296,14 @@ class Scenario:
             or self.crash_plan is not None
             or self.partition is not None
             or self.adversary is not None
+            or self.membership is not None
             or self.is_dynamic
         ):
             raise ConfigurationError(
                 "pair-mode scenarios model the failure-free AVG of "
                 "Figure 2; loss, crash plans, partitions, adversaries, "
-                "churn and epochs are not supported with pair_protocol"
+                "membership providers, churn and epochs are not "
+                "supported with pair_protocol"
             )
         spec.validate_topology(self.topology)
         # pair mode owns the instance layout; accept only the default

@@ -1,11 +1,12 @@
-"""Membership management substrates.
+"""Membership management substrates — deprecated shells.
 
 Anti-entropy aggregation "assumes that each node has a neighbor set …
 [but] does not address the issue of the maintenance of these sets"
-(§1.2). The paper points at gossip membership protocols [5, 7, 9] that
-maintain approximately random overlays. This package supplies that
-substrate: a trivial static membership and a Newscast-style peer
-sampling service whose views approximate a random graph.
+(§1.2). The membership layer now lives on the kernel as the pluggable
+partner-provider protocol (:mod:`repro.kernel.membership`): select it
+per scenario with ``Scenario(membership="newscast")``. The classes
+here keep the historical object API as thin shells over that layer and
+emit one :class:`DeprecationWarning` per class on first instantiation.
 """
 
 from .base import MembershipProtocol

@@ -1,0 +1,28 @@
+"""One-shot deprecation warnings for the legacy membership shells.
+
+The classes in :mod:`repro.membership` predate the kernel-hosted
+partner-provider layer (:mod:`repro.kernel.membership`). They remain
+importable and behave as before, but each class warns once — on first
+instantiation, not at import time, since ``repro/__init__`` imports the
+names eagerly.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set = set()
+
+
+def warn_deprecated(name: str, replacement: str) -> None:
+    """Emit a single :class:`DeprecationWarning` per class per process."""
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"repro.membership.{name} is deprecated; use {replacement} "
+        "instead. The legacy class is a thin shell over the kernel "
+        "layer and will be removed in a future release.",
+        DeprecationWarning,
+        stacklevel=3,
+    )

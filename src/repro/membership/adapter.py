@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import TopologyError
 from ..topology.base import Topology
 from .base import MembershipProtocol
+from ._deprecation import warn_deprecated
 
 
 class MembershipTopologyAdapter(Topology):
@@ -26,9 +27,19 @@ class MembershipTopologyAdapter(Topology):
     initiate toward anything in its view); ``neighbors`` returns the
     current view. ``random_edge`` samples an initiator uniformly and a
     partner from its view, matching how gossip traffic actually flows.
+
+    .. deprecated::
+        The kernel hosts membership directly — ``Scenario(membership=
+        "newscast")`` draws partners from live views without any
+        topology adapter in between.
     """
 
     def __init__(self, membership: MembershipProtocol):
+        warn_deprecated(
+            "MembershipTopologyAdapter",
+            'Scenario(membership="newscast") — the kernel draws from '
+            "live views directly",
+        )
         super().__init__(membership.n)
         self._membership = membership
 

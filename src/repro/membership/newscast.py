@@ -1,31 +1,37 @@
-"""Newscast-style gossip peer sampling.
+"""Newscast-style gossip peer sampling — deprecated shell.
 
-A faithful, simple variant of the Newscast protocol the paper cites
-([9], Jelasity & van Steen 2002): each node keeps a small *view* of
-(peer id, age) entries. Once per cycle every node picks a random peer
-from its view, the two merge their views plus fresh self-entries, and
-each keeps the ``view_size`` youngest entries for distinct peers. The
-resulting overlay is connected with overwhelming probability and close
-to a random graph — exactly the topology the aggregation analysis
-assumes.
+The Newscast protocol the paper cites ([9], Jelasity & van Steen 2002)
+now lives on the kernel as
+:class:`repro.kernel.membership.NewscastProvider`: an int32 partial-view
+matrix refreshed by batched view exchanges through the execution
+backends, selectable per scenario with ``Scenario(membership=
+"newscast")``. This module keeps the historical object API —
+per-node ``view()`` lists, ``random_partner``, ``advance_cycle`` — as a
+thin shell over the same :class:`~repro.kernel.membership.NewscastViews`
+machinery, emitting one :class:`DeprecationWarning` on first use.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..kernel.backends import VectorizedBackend
+from ..kernel.membership import NewscastViews
 from ..rng import SeedLike, make_rng
 from .base import MembershipProtocol
-
-#: a view entry is (peer id, age in cycles)
-ViewEntry = Tuple[int, int]
+from ._deprecation import warn_deprecated
 
 
 class NewscastMembership(MembershipProtocol):
     """Gossip-maintained random-ish views of a fixed node population.
+
+    .. deprecated::
+        Use ``Scenario(membership="newscast")`` — the kernel-hosted
+        :class:`repro.kernel.membership.NewscastProvider` — which runs
+        the same view-exchange machinery through the execution backends.
 
     Parameters
     ----------
@@ -38,22 +44,20 @@ class NewscastMembership(MembershipProtocol):
     """
 
     def __init__(self, n: int, view_size: int = 20, *, seed: SeedLike = None):
+        warn_deprecated(
+            "NewscastMembership",
+            'Scenario(membership="newscast") or '
+            "repro.kernel.membership.NewscastProvider",
+        )
         if n < 2:
             raise ConfigurationError("newscast needs at least two nodes")
         if view_size < 1:
             raise ConfigurationError(f"view_size must be >= 1, got {view_size}")
         self._n = n
-        self._view_size = min(view_size, n - 1)
-        rng = make_rng(seed)
-        # bootstrap: each node knows `view_size` random other nodes
-        self._views: List[Dict[int, int]] = []
-        for node in range(n):
-            peers: Dict[int, int] = {}
-            while len(peers) < self._view_size:
-                candidate = int(rng.integers(0, n))
-                if candidate != node:
-                    peers[candidate] = 0
-            self._views.append(peers)
+        self._views = NewscastViews(n, view_size, make_rng(seed))
+        self._backend = VectorizedBackend()
+        self._everyone = np.arange(n, dtype=np.int64)
+        self._alive = np.ones(n, dtype=bool)
 
     @property
     def n(self) -> int:
@@ -61,77 +65,25 @@ class NewscastMembership(MembershipProtocol):
 
     @property
     def view_size(self) -> int:
-        """Maximum number of entries per view."""
-        return self._view_size
+        """Maximum number of entries per view (capped at ``n - 1``)."""
+        return self._views.view_size
 
     def view(self, node: int) -> List[int]:
-        return sorted(self._views[node])
+        return sorted(int(peer) for peer in self._views.views[node])
 
     def random_partner(self, node: int, rng: np.random.Generator) -> int:
-        peers = list(self._views[node])
-        if not peers:
-            raise ConfigurationError(f"node {node} has an empty view")
-        return peers[int(rng.integers(0, len(peers)))]
+        row = self._views.views[node]
+        return int(row[int(rng.integers(0, len(row)))])
 
     def advance_cycle(self, rng: np.random.Generator) -> None:
-        """One Newscast exchange cycle.
-
-        Ages increment, then every node (in random order) merges views
-        with a random partner; both keep the youngest entries.
-        """
-        for view in self._views:
-            for peer in view:
-                view[peer] += 1
-        order = rng.permutation(self._n)
-        for node in order.tolist():
-            view = self._views[node]
-            if not view:
-                continue
-            peers = list(view)
-            partner = peers[int(rng.integers(0, len(peers)))]
-            self._merge(node, partner, rng)
-
-    def _merge(self, a: int, b: int, rng: np.random.Generator) -> None:
-        """Exchange views between ``a`` and ``b`` with fresh self-entries."""
-        pool: Dict[int, int] = {}
-        for entry_owner in (a, b):
-            for peer, age in self._views[entry_owner].items():
-                if peer in pool:
-                    pool[peer] = min(pool[peer], age)
-                else:
-                    pool[peer] = age
-        pool[a] = 0
-        pool[b] = 0
-        self._views[a] = self._select(pool, exclude=a, rng=rng)
-        self._views[b] = self._select(pool, exclude=b, rng=rng)
-
-    def _select(
-        self, pool: Dict[int, int], *, exclude: int, rng: np.random.Generator
-    ) -> Dict[int, int]:
-        """Keep the ``view_size`` youngest entries, breaking age ties
-        uniformly at random.
-
-        Deterministic tie-breaking (e.g. by peer id) systematically
-        starves high-id nodes out of every view; the random tiebreak
-        keeps the in-degree distribution flat, which is the property the
-        aggregation layer relies on.
-        """
-        candidates = [(age, peer) for peer, age in pool.items() if peer != exclude]
-        tiebreak = rng.random(len(candidates))
-        ranked = sorted(
-            zip(candidates, tiebreak), key=lambda item: (item[0][0], item[1])
-        )
-        return {
-            peer: age for (age, peer), _ in ranked[: self._view_size]
-        }
+        """One Newscast exchange cycle: every node initiates a view
+        exchange with a random entry of its view; merges interleave the
+        recency-ordered views so stale entries drift off the tail."""
+        self._views.refresh(self._everyone, self._alive, rng, self._backend)
 
     # -- analysis helpers ---------------------------------------------------
 
     def in_degree_distribution(self) -> np.ndarray:
-        """How many views each node appears in — flatness indicates the
-        overlay is close to random (no hubs, no starvation)."""
-        counts = np.zeros(self._n, dtype=np.int64)
-        for view in self._views:
-            for peer in view:
-                counts[peer] += 1
-        return counts
+        """How many view entries point at each node — flatness indicates
+        the overlay is close to random (no hubs, no starvation)."""
+        return self._views.in_degree_distribution()

@@ -8,13 +8,24 @@ import numpy as np
 
 from ..topology.base import Topology
 from .base import MembershipProtocol
+from ._deprecation import warn_deprecated
 
 
 class StaticMembership(MembershipProtocol):
     """Wraps a fixed :class:`~repro.topology.base.Topology` as a
-    membership service — the setting of the paper's own experiments."""
+    membership service — the setting of the paper's own experiments.
+
+    .. deprecated::
+        The kernel draws static partners directly from the topology via
+        :class:`repro.kernel.membership.OracleProvider`; pass the
+        topology to :class:`~repro.kernel.scenario.Scenario` instead.
+    """
 
     def __init__(self, topology: Topology):
+        warn_deprecated(
+            "StaticMembership",
+            "Scenario(topology=...) with the kernel's OracleProvider",
+        )
         self._topology = topology
 
     @property

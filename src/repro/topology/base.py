@@ -105,6 +105,18 @@ class Topology(ABC):
         out[:] = result
         return out
 
+    def isolated_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of zero-degree nodes, or ``None`` when the
+        topology cannot contain any (the generic/complete case).
+
+        The gossip kernel consults this once at engine construction:
+        isolated nodes stay *alive* — their value still counts toward
+        the true aggregate — but are skipped as initiators, since they
+        have no neighbor to draw (the vectorized CSR draw would
+        otherwise raise from deep inside the batch).
+        """
+        return None
+
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.n:
             raise TopologyError(f"node id {node} outside range [0, {self.n})")
@@ -236,6 +248,13 @@ class AdjacencyTopology(Topology):
         self._check_node(node)
         return int(self._degrees[node])
 
+    def isolated_mask(self) -> Optional[np.ndarray]:
+        """Zero-degree nodes of the CSR structure (see the base-class
+        contract); ``None`` when every node has a neighbor."""
+        if int(self._degrees.min(initial=1)) > 0:
+            return None
+        return self._degrees == 0
+
     def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
         row = self.neighbors(node)
         if len(row) == 0:
@@ -293,7 +312,12 @@ class AdjacencyTopology(Topology):
         deg = self._degrees[nodes]
         if len(deg) and int(deg.min()) == 0:
             node = int(nodes[int(np.argmin(deg))])
-            raise TopologyError(f"node {node} has no neighbors")
+            raise TopologyError(
+                f"node {node} has no neighbors to draw from — the "
+                f"gossip kernel skips isolated nodes as initiators "
+                f"(Topology.isolated_mask); direct callers must filter "
+                f"zero-degree nodes themselves"
+            )
         picks = (rng.random(len(nodes)) * deg).astype(np.int64)
         # u < 1 strictly, but the product can round up to deg for large
         # degrees; clamp to keep the gather in-row

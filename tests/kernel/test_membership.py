@@ -1,0 +1,425 @@
+"""Tests for the kernel-hosted membership layer.
+
+Covers the declarative :class:`NewscastSpec` (validation,
+normalization, scenario-level rejections), the
+:class:`PartnerProvider` protocol, the oracle provider's RNG-stream
+identity with the historical draw algorithms, the Newscast view
+machinery (bootstrap, joins, growth, merge invariants), bitwise
+cross-backend equivalence of value *and* view trajectories, and the
+zero-degree isolated-node regression. Distribution-level acceptance
+tests (in-degree tails, oracle-vs-newscast Figure-4 parity) are marked
+``membership`` and deselected from tier-1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SizeEstimationConfig, SizeEstimationExperiment
+from repro.errors import ConfigurationError, TopologyError
+from repro.kernel import (
+    ChurnTrace,
+    GossipEngine,
+    NewscastSpec,
+    NewscastViews,
+    OracleProvider,
+    Scenario,
+)
+from repro.kernel.adversary import AdversarySpec
+from repro.kernel.backends import VectorizedBackend
+from repro.kernel.backends.base import (
+    merge_views_batch,
+    merge_views_sequential,
+)
+from repro.kernel.membership import build_provider, resolve_membership
+from repro.kernel.pairs import PairProtocolSpec
+from repro.rng import make_rng
+from repro.topology import AdjacencyTopology, CompleteTopology, RingTopology
+
+BACKENDS = ["reference", "vectorized", "sharded:2", "sharded:4"]
+
+
+def scenario_with(n=300, seed=7, values_seed=2, **kwargs):
+    values = make_rng(values_seed).normal(10.0, 3.0, n)
+    return Scenario(CompleteTopology(n), values, seed=seed, **kwargs)
+
+
+def run_engine(scenario, cycles):
+    engine = GossipEngine(scenario)
+    try:
+        for _ in range(cycles):
+            engine.run_cycle()
+        matrix = engine.matrix
+        views = engine.membership_views
+        alive = engine.alive_mask
+    finally:
+        engine.close()
+    return matrix, views, alive
+
+
+class TestSpecValidation:
+    def test_spec_defaults(self):
+        spec = NewscastSpec()
+        assert spec.view_size == 20
+        assert spec.refresh_every == 1
+
+    def test_spec_rejects_bad_view_size(self):
+        with pytest.raises(ConfigurationError):
+            NewscastSpec(view_size=0)
+
+    def test_spec_rejects_bad_refresh(self):
+        with pytest.raises(ConfigurationError):
+            NewscastSpec(refresh_every=0)
+
+    def test_resolve_names(self):
+        assert resolve_membership(None) is None
+        assert resolve_membership("oracle") is None
+        assert resolve_membership("newscast") == NewscastSpec()
+        spec = NewscastSpec(view_size=5)
+        assert resolve_membership(spec) is spec
+        with pytest.raises(ConfigurationError):
+            resolve_membership("gnutella")
+
+    def test_scenario_normalizes_string(self):
+        scenario = scenario_with(membership="newscast")
+        assert scenario.membership == NewscastSpec()
+        assert scenario_with(membership="oracle").membership is None
+
+    def test_scenario_rejects_non_complete_topology(self):
+        values = make_rng(2).normal(10.0, 3.0, 50)
+        with pytest.raises(ConfigurationError):
+            Scenario(RingTopology(50, 2), values, membership="newscast")
+
+    def test_scenario_rejects_pair_mode(self):
+        with pytest.raises(ConfigurationError):
+            scenario_with(
+                membership="newscast",
+                pair_protocol=PairProtocolSpec(selector="seq"),
+            )
+
+    def test_scenario_rejects_eclipse_adversary(self):
+        with pytest.raises(ConfigurationError):
+            scenario_with(
+                membership="newscast",
+                adversary=AdversarySpec(kind="eclipse", fraction=0.1),
+            )
+
+
+class TestProviderProtocol:
+    def test_build_provider(self):
+        assert build_provider(None).name == "oracle"
+        assert build_provider(NewscastSpec()).name == "newscast"
+
+    def test_engine_exposes_provider(self):
+        with GossipEngine(scenario_with()) as engine:
+            assert engine.membership_name == "oracle"
+            assert engine.membership_views is None
+            assert engine.partner_provider.draws_valid_participants
+
+    def test_newscast_engine_exposes_views(self):
+        spec = NewscastSpec(view_size=8)
+        with GossipEngine(scenario_with(membership=spec)) as engine:
+            assert engine.membership_name == "newscast"
+            views = engine.membership_views
+            assert views.shape == (300, 8)
+            assert views.dtype == np.int32
+            assert not engine.partner_provider.draws_valid_participants
+            state = engine.partner_provider.state()
+            assert state["name"] == "newscast"
+            assert state["view_size"] == 8
+
+
+class TestOracleRngIdentity:
+    """The oracle provider must consume the RNG stream exactly as the
+    historically inlined draw code did."""
+
+    def test_static_draw_is_topology_draw(self):
+        topology = RingTopology(64, 4)
+        provider = OracleProvider()
+        provider._topology = topology
+        provider._dynamic = False
+        initiators = np.arange(0, 64, 2, dtype=np.int64)
+        out = np.empty(len(initiators), dtype=np.int32)
+        provider.draw(initiators, make_rng(11), out)
+        expected = topology.random_neighbor_array(
+            initiators, make_rng(11), out=np.empty_like(out)
+        )
+        assert np.array_equal(out, expected)
+
+    def test_dynamic_draw_algorithm(self):
+        provider = OracleProvider()
+        provider._topology = None
+        provider._dynamic = True
+        initiators = np.array([3, 7, 9, 12, 20, 41], dtype=np.int64)
+        count = len(initiators)
+        out = np.empty(count, dtype=np.int64)
+        provider.draw(initiators, make_rng(5), out)
+        # replay: uniform positions with the self-pick shift
+        rng = make_rng(5)
+        positions = rng.integers(0, count, size=count)
+        clash = positions == np.arange(count)
+        if clash.any():
+            positions[clash] = (positions[clash] + 1) % count
+        assert np.array_equal(out, initiators[positions])
+        assert not np.any(out == initiators)
+
+    def test_membership_none_equals_oracle_string(self):
+        matrix_none, _, _ = run_engine(scenario_with(membership=None), 10)
+        matrix_oracle, _, _ = run_engine(
+            scenario_with(membership="oracle"), 10
+        )
+        assert np.array_equal(matrix_none, matrix_oracle)
+
+
+class TestNewscastViews:
+    def test_bootstrap_invariants(self):
+        views = NewscastViews(100, 12, make_rng(3))
+        rows = np.arange(100)[:, None]
+        assert views.views.shape == (100, 12)
+        assert not np.any(views.views == rows)
+        assert views.views.min() >= 0 and views.views.max() < 100
+
+    def test_view_size_capped(self):
+        views = NewscastViews(4, 20, make_rng(3))
+        assert views.view_size == 3
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ConfigurationError):
+            NewscastViews(1, 5, make_rng(0))
+        with pytest.raises(ConfigurationError):
+            NewscastViews(10, 0, make_rng(0))
+
+    def test_grow_preserves_rows(self):
+        views = NewscastViews(50, 6, make_rng(4))
+        before = views.views.copy()
+        views.grow(80)
+        assert views.capacity == 80
+        assert np.array_equal(views.views[:50], before)
+        assert np.all(views.views[50:] == -1)
+
+    def test_seed_rows_alive_no_self(self):
+        views = NewscastViews(60, 8, make_rng(5))
+        alive = np.ones(60, dtype=bool)
+        alive[40:] = False
+        slots = np.array([41, 47, 59], dtype=np.int64)
+        views.seed_rows(slots, alive, make_rng(6))
+        seeded = views.views[slots]
+        assert np.all(seeded < 40)  # contacts drawn among alive nodes
+        assert not np.any(seeded == slots[:, None])
+
+    def test_draw_partners_from_own_row(self):
+        views = NewscastViews(40, 5, make_rng(7))
+        initiators = np.arange(40, dtype=np.int64)
+        out = np.empty(40, dtype=np.int32)
+        for trial in range(10):
+            views.draw_partners(initiators, make_rng(trial), out)
+            for node in range(40):
+                assert out[node] in views.views[node]
+
+
+class TestMergePrimitives:
+    def test_batch_matches_sequential(self):
+        rng = make_rng(3)
+        n, v = 400, 7
+        views = rng.integers(0, n, size=(n, v), dtype=np.int32)
+        rows = np.arange(n, dtype=np.int32)[:, None]
+        np.copyto(views, (views + 1) % n, where=views == rows)
+        perm = rng.permutation(n)
+        batch_a = perm[:150].astype(np.int64)
+        batch_b = perm[150:300].astype(np.int64)
+        batched = views.copy()
+        stepped = views.copy()
+        merge_views_batch(batched, batch_a, batch_b)
+        merge_views_sequential(stepped, batch_a, batch_b)
+        assert np.array_equal(batched, stepped)
+
+    def test_merge_invariants(self):
+        rng = make_rng(8)
+        n, v = 200, 6
+        views = rng.integers(0, n, size=(n, v), dtype=np.int32)
+        rows = np.arange(n, dtype=np.int32)[:, None]
+        np.copyto(views, (views + 1) % n, where=views == rows)
+        perm = rng.permutation(n)
+        batch_a, batch_b = perm[:80], perm[80:160]
+        merge_views_batch(views, batch_a, batch_b)
+        # no self-loops, partner at the head, first-distinct dedup
+        assert not np.any(views == rows)
+        assert np.array_equal(views[batch_a][:, 0], batch_b.astype(np.int32))
+        for node in np.concatenate([batch_a, batch_b]):
+            row = views[node].tolist()
+            assert len(set(row)) == v
+
+
+class TestEngineIntegration:
+    def test_views_stay_self_loop_free(self):
+        spec = NewscastSpec(view_size=10)
+        trace = ChurnTrace.sessions(
+            25, arrivals_per_cycle=5, mean_session=10, seed=3
+        )
+        scenario = scenario_with(membership=spec, churn=trace)
+        with GossipEngine(scenario) as engine:
+            for _ in range(25):
+                engine.run_cycle()
+                views = engine.membership_views
+                alive = engine.alive_mask
+                rows = np.flatnonzero(alive)
+                assert not np.any(views[rows] == rows[:, None])
+
+    def test_dead_entries_age_off_after_churn_settles(self):
+        joins = np.zeros(45, dtype=np.int64)
+        leaves = np.zeros(45, dtype=np.int64)
+        joins[:15] = 6
+        leaves[:15] = 10
+        scenario = scenario_with(
+            n=500,
+            membership=NewscastSpec(view_size=12),
+            churn=ChurnTrace(joins, leaves),
+        )
+        with GossipEngine(scenario) as engine:
+            for _ in range(45):
+                engine.run_cycle()
+            alive = engine.alive_mask
+            rows = engine.membership_views[alive]
+            assert alive[rows].all()
+
+    def test_refresh_every_skips_cycles(self):
+        spec = NewscastSpec(view_size=6, refresh_every=3)
+        with GossipEngine(scenario_with(membership=spec)) as engine:
+            engine.run_cycle()  # cycle 0: refresh runs
+            after_first = engine.membership_views
+            engine.run_cycle()  # cycle 1: skipped — views frozen
+            assert np.array_equal(after_first, engine.membership_views)
+
+    @pytest.mark.parametrize("backend", BACKENDS[1:])
+    def test_backend_bitwise_equivalence(self, backend):
+        """Values AND view matrices match the reference backend bitwise,
+        under trace churn and epoch-free dynamics."""
+        trace = ChurnTrace.sessions(
+            18, arrivals_per_cycle=6, mean_session=8, seed=11
+        )
+        kwargs = dict(
+            n=400, membership=NewscastSpec(view_size=9), churn=trace
+        )
+        ref_matrix, ref_views, _ = run_engine(
+            scenario_with(backend="reference", **kwargs), 18
+        )
+        matrix, views, _ = run_engine(
+            scenario_with(backend=backend, **kwargs), 18
+        )
+        assert np.array_equal(ref_matrix, matrix)
+        assert np.array_equal(ref_views, views)
+
+    def test_static_newscast_backend_equivalence(self):
+        kwargs = dict(n=350, membership=NewscastSpec(view_size=7))
+        ref_matrix, ref_views, _ = run_engine(
+            scenario_with(backend="reference", **kwargs), 12
+        )
+        for backend in BACKENDS[1:]:
+            matrix, views, _ = run_engine(
+                scenario_with(backend=backend, **kwargs), 12
+            )
+            assert np.array_equal(ref_matrix, matrix), backend
+            assert np.array_equal(ref_views, views), backend
+
+
+class TestIsolatedNodes:
+    """Zero-degree overlay nodes: skipped as initiators, never drawn,
+    value intact — instead of a raise from deep inside the CSR batch."""
+
+    def edges_with_isolated(self, n=40):
+        # a path over nodes 0..n-3; the last two nodes are isolated
+        return [(i, i + 1) for i in range(n - 3)]
+
+    def test_isolated_mask(self):
+        topology = AdjacencyTopology.from_edges(40, self.edges_with_isolated())
+        mask = topology.isolated_mask()
+        assert mask is not None
+        assert np.flatnonzero(mask).tolist() == [38, 39]
+        # fully-connected CSR reports None (no mask allocation)
+        assert RingTopology(10, 2).isolated_mask() is None
+
+    def test_csr_draw_still_raises_on_direct_call(self):
+        topology = AdjacencyTopology.from_edges(40, self.edges_with_isolated())
+        with pytest.raises(TopologyError, match="no neighbors"):
+            topology.random_neighbor_array(
+                np.array([38], dtype=np.int64), make_rng(0)
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_engine_runs_with_isolated_nodes(self, backend):
+        n = 40
+        topology = AdjacencyTopology.from_edges(n, self.edges_with_isolated())
+        values = make_rng(1).normal(5.0, 2.0, n)
+        scenario = Scenario(topology, values, seed=9, backend=backend)
+        with GossipEngine(scenario) as engine:
+            for _ in range(8):
+                engine.run_cycle()
+            matrix = engine.matrix
+            assert engine.alive_mask.all()
+        # the isolated nodes kept their initial values untouched
+        assert matrix[38, 0] == values[38]
+        assert matrix[39, 0] == values[39]
+        # the connected component still averaged
+        assert np.var(matrix[:38, 0]) < np.var(values[:38])
+
+    def test_isolated_engine_matches_reference(self):
+        n = 40
+        topology = AdjacencyTopology.from_edges(n, self.edges_with_isolated())
+        values = make_rng(1).normal(5.0, 2.0, n)
+        results = {}
+        for backend in BACKENDS:
+            scenario = Scenario(topology, values, seed=9, backend=backend)
+            with GossipEngine(scenario) as engine:
+                for _ in range(8):
+                    engine.run_cycle()
+                results[backend] = engine.matrix
+        for backend in BACKENDS[1:]:
+            assert np.array_equal(results["reference"], results[backend])
+
+
+@pytest.mark.membership
+class TestMembershipAcceptance:
+    """Distribution-level oracle-vs-newscast parity (scheduled jobs)."""
+
+    def test_in_degree_tail_close_to_uniform(self):
+        """After mixing, the view in-degree tail must stay within a
+        small factor of the uniform-oracle mean — the 'approximately
+        random overlay' property the aggregation analysis needs."""
+        n, v = 5000, 20
+        rng = make_rng(17)
+        views = NewscastViews(n, v, rng)
+        backend = VectorizedBackend()
+        everyone = np.arange(n, dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+        for _ in range(30):
+            views.refresh(everyone, alive, rng, backend)
+        in_degrees = views.in_degree_distribution()
+        assert in_degrees.min() >= 1
+        assert in_degrees.max() <= 4 * in_degrees.mean()
+
+    def test_figure4_error_parity(self):
+        """Size estimation through newscast views stays within the
+        same 5% mean relative-error acceptance bound as the oracle
+        draw, on the Figure-4 workload (diurnal ±10% trace churn)."""
+        n, cycles = 20_000, 120
+        errors = {}
+        for membership in (None, "newscast"):
+            config = SizeEstimationConfig(
+                cycles=cycles, cycles_per_epoch=30, initial_size=n, seed=13
+            )
+            trace = ChurnTrace.diurnal(
+                n, cycles, period=cycles // 2, amplitude=n // 10,
+                fluctuation=n // 1000,
+            )
+            experiment = SizeEstimationExperiment(
+                config,
+                churn=trace,
+                backend="vectorized",
+                membership=membership,
+            )
+            experiment.run()
+            assert experiment.reports, membership
+            errors[membership] = float(
+                np.mean([r.relative_error for r in experiment.reports])
+            )
+        assert errors[None] < 0.05
+        assert errors["newscast"] < 0.05
