@@ -32,6 +32,7 @@ archives, with small default sizes so it completes in seconds.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -58,7 +59,8 @@ from .core import SizeEstimationConfig, SizeEstimationExperiment
 from .core.service import AggregationService
 from .errors import BackendSpecError
 from .failures import OscillatingChurn
-from .kernel import GossipEngine, Scenario, parse_backend_spec
+from .kernel import CheckpointSpec, GossipEngine, Scenario, parse_backend_spec
+from .kernel.backends.sharded import POOL_FAILURE_MODES
 from .kernel.lifecycle import ChurnTrace
 from .kernel.membership import MEMBERSHIP_NAMES
 from .rng import make_rng
@@ -128,6 +130,16 @@ def _add_backend_options(command: argparse.ArgumentParser) -> None:
              "in-process execution on small networks; ignored unless "
              "the backend is sharded)",
     )
+    command.add_argument(
+        "--on-pool-failure", choices=list(POOL_FAILURE_MODES),
+        default=None, metavar="MODE",
+        help="what a sharded pool failure does (sets "
+             "REPRO_SHARD_ON_FAILURE): 'raise' fails fast (the "
+             "default), 'respawn' replays the in-flight work inline "
+             "and restarts the workers, 'inline' degrades to "
+             "in-process execution — the run always finishes, "
+             "bitwise-identically",
+    )
 
 
 def _resolve_backend(parser: argparse.ArgumentParser,
@@ -139,6 +151,11 @@ def _resolve_backend(parser: argparse.ArgumentParser,
     it is inert, so ``--backend vectorized`` works without spelling
     ``--workers`` out. Explicit integer counts keep strict validation.
     """
+    mode = getattr(args, "on_pool_failure", None)
+    if mode is not None:
+        # env-based so the policy reaches every ShardedBackend the run
+        # constructs, however deep (experiments build their own)
+        os.environ["REPRO_SHARD_ON_FAILURE"] = mode
     workers = getattr(args, "workers", None)
     if workers is None:
         return
@@ -267,15 +284,27 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         config, churn=_figure4_churn(args), backend=args.backend,
         membership=args.membership,
     )
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        checkpoint = CheckpointSpec(
+            directory=args.checkpoint_dir,
+            every_cycles=args.checkpoint_every,
+            keep=3,
+        )
     start = time.perf_counter()
-    experiment.run()
+    if args.resume is not None:
+        experiment.resume(args.resume, checkpoint=checkpoint)
+        mode = "resumed"
+    else:
+        experiment.run(checkpoint=checkpoint)
+        mode = "ran"
     elapsed = time.perf_counter() - start
     table = Table(
         headers=["end cycle", "actual@start", "estimate", "rel. error"],
         title=(
             f"Figure 4: size estimation under churn, N={args.n} "
             f"({args.churn_trace} churn, {args.membership} membership, "
-            f"{experiment.backend_name} backend, {elapsed:.1f}s)"
+            f"{experiment.backend_name} backend, {mode} in {elapsed:.1f}s)"
         ),
     )
     for report in experiment.reports:
@@ -477,6 +506,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="churn workload: the historical closed-form oscillation, "
              "or a trace-driven diurnal wave / flash crowd / session "
              "workload replayed from per-cycle join+leave counts",
+    )
+    f4.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write periodic checkpoints here (atomic npz + manifest); "
+             "the run becomes resumable after a crash or SIGKILL",
+    )
+    f4.add_argument(
+        "--checkpoint-every", type=int, default=10, metavar="CYCLES",
+        help="cycles between checkpoints when --checkpoint-dir is set",
+    )
+    f4.add_argument(
+        "--resume", default=None, metavar="CHECKPOINT",
+        help="resume from a checkpoint manifest (or a directory, which "
+             "picks the newest intact checkpoint) instead of starting "
+             "from cycle 0; runs the remaining cycles bitwise-identically",
     )
     _add_backend_options(f4)
     f4.set_defaults(func=_cmd_figure4)

@@ -29,12 +29,14 @@ the vectorized backend in seconds (``python -m repro figure4
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..failures.churn import ChurnModel, NoChurn
+from ..kernel.checkpoint import CheckpointSpec
 from ..kernel.engine import GossipEngine
 from ..kernel.lifecycle import ChurnSpec, EpochRestart, EpochSpec, EpochView
 from ..kernel.scenario import Scenario
@@ -242,22 +244,75 @@ class SizeEstimationExperiment:
             backend=self._backend,
         )
 
-    def run(self) -> List[EpochReport]:
+    def run(
+        self, *, checkpoint: Optional[CheckpointSpec] = None
+    ) -> List[EpochReport]:
         """Execute the configured number of cycles; returns the epoch
-        reports (also available as ``self.reports``)."""
+        reports (also available as ``self.reports``).
+
+        ``checkpoint`` enables the kernel's periodic auto-checkpointing
+        (see :class:`~repro.kernel.checkpoint.CheckpointSpec`); the run
+        can then be continued with :meth:`resume`.
+        """
         self.reports = []
         self.size_trace = []
         self._instances = 0
         self._engine = GossipEngine(self.scenario())
+        return self._finish(self._engine, self.config.cycles, checkpoint)
+
+    def resume(
+        self,
+        path: Union[str, Path],
+        *,
+        checkpoint: Optional[CheckpointSpec] = None,
+    ) -> List[EpochReport]:
+        """Continue a checkpointed run to the configured cycle budget.
+
+        ``path`` is a checkpoint directory (its newest valid checkpoint
+        is used), payload, or manifest written by an earlier
+        :meth:`run` with a checkpoint spec. The engine restores its own
+        state bitwise; this method additionally rehydrates the
+        experiment-side state the epoch hooks read — ``reports`` (which
+        :meth:`_reseed` consults under ``adaptive_leaders``) from the
+        restored epoch results, and ``_instances`` (which
+        :meth:`_finalize` needs for the epoch in flight at checkpoint
+        time) from the restored instance layout. A leaderless forced
+        epoch rehydrates as 1 instance, but its all-zero column keeps
+        :meth:`_finalize` reporting nothing either way, so the resumed
+        trajectory and reports match the uninterrupted run exactly.
+        """
+        engine = GossipEngine.restore(self.scenario(), path)
+        remaining = self.config.cycles - engine.cycle
+        if remaining < 0:
+            engine.close()
+            raise ConfigurationError(
+                f"checkpoint is at cycle {engine.cycle}, beyond the "
+                f"configured budget of {self.config.cycles} cycles"
+            )
+        self._engine = engine
+        self.reports = [
+            r for r in engine.epoch_results if isinstance(r, EpochReport)
+        ]
+        self._instances = len(engine.instance_names)
+        self.size_trace = []
+        return self._finish(engine, remaining, checkpoint)
+
+    def _finish(
+        self,
+        engine: GossipEngine,
+        cycles: int,
+        checkpoint: Optional[CheckpointSpec],
+    ) -> List[EpochReport]:
         try:
-            result = self._engine.run(self.config.cycles)
+            result = engine.run(cycles, checkpoint=checkpoint)
         finally:
             # the run is terminal for this engine: release the backend
             # (a sharded pool and its shared segment) deterministically.
             # Post-run observers (current_size, epoch, backend_name)
             # keep working — they read engine state, not the backend.
-            self._engine.close()
+            engine.close()
         # alive_counts[0] is the pre-run size; the trace matches the
-        # historical one-entry-per-cycle shape
+        # historical one-entry-per-cycle shape (after resume it covers
+        # only the resumed tail of the run)
         self.size_trace = result.alive_counts[1:]
         return self.reports

@@ -54,6 +54,12 @@ class SimulationError(ReproError):
     """
 
 
+def _rebuild_shard_pool_error(phase, worker, detail):
+    """Unpickling hook for :class:`ShardPoolError` (module-level so the
+    pickle payload names an importable callable)."""
+    return ShardPoolError(phase, worker=worker, detail=detail)
+
+
 class ShardPoolError(SimulationError):
     """The sharded backend's worker pool failed, stalled or died.
 
@@ -82,6 +88,36 @@ class ShardPoolError(SimulationError):
         if detail:
             message = f"{message}\n{detail}"
         super().__init__(message)
+
+    def __reduce__(self):
+        # the default reduce would re-call __init__ with the assembled
+        # *message* as the positional phase argument; spell the real
+        # constructor arguments out so the error crosses process
+        # boundaries (worker -> parent pipes, CI subprocesses) intact
+        return _rebuild_shard_pool_error, (
+            self.phase, self.worker, self.detail,
+        )
+
+    def __repr__(self):
+        # one greppable CI-log line: phase + worker + collapsed detail
+        detail = " | ".join(
+            line.strip() for line in self.detail.splitlines() if line.strip()
+        )
+        if len(detail) > 160:
+            detail = detail[:157] + "..."
+        return (
+            f"ShardPoolError(phase={self.phase!r}, worker={self.worker!r}, "
+            f"detail={detail!r})"
+        )
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint could not be written, read or validated.
+
+    Raised for missing or torn checkpoint files, checksum mismatches,
+    format-version skew, and restore-time fingerprint mismatches (a
+    checkpoint resumed against an incompatible scenario).
+    """
 
 
 class ProtocolError(ReproError):

@@ -22,6 +22,20 @@ from .scenario import (
     AUTO_VECTORIZE_THRESHOLD,
     Scenario,
 )
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointSpec,
+    latest_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+    read_checkpoint,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultSpec,
+    spawn_and_kill,
+)
 from .adversary import (
     ADVERSARY_KINDS,
     AdversarySpec,
@@ -63,6 +77,7 @@ from .backends import (
     PAIR_CHUNK,
     SHARD_CHUNK,
     ExecutionBackend,
+    PoolHealthReport,
     ReferenceBackend,
     ShardedBackend,
     VectorizedBackend,
@@ -73,6 +88,17 @@ from .backends import (
 from .engine import CyclePlan, GossipEngine, KernelRunResult, run_scenario
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointSpec",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
+    "read_checkpoint",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "spawn_and_kill",
+    "PoolHealthReport",
     "ADVERSARY_KINDS",
     "AdversarySpec",
     "AUTO_VECTORIZE_THRESHOLD",

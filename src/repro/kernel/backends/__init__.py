@@ -37,9 +37,11 @@ from .registry import (
     parse_backend_spec,
 )
 from .sharded import (
+    POOL_FAILURE_MODES,
     SHARD_CHUNK,
     SHARD_INLINE,
     SHARD_TAIL,
+    PoolHealthReport,
     ShardedBackend,
     default_workers,
 )
@@ -51,6 +53,8 @@ __all__ = [
     "ExecutionBackend",
     "GREEDY_TAIL",
     "PAIR_CHUNK",
+    "POOL_FAILURE_MODES",
+    "PoolHealthReport",
     "ReferenceBackend",
     "SEGMENT_BATCH",
     "SEGMENT_SEQUENTIAL",

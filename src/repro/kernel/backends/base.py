@@ -454,6 +454,29 @@ class ExecutionBackend(ABC):
         zero-filled by the OS for free)."""
         return np.zeros((rows, k), dtype=np.float64)
 
+    def restore_matrix(
+        self, matrix: np.ndarray, saved: np.ndarray
+    ) -> np.ndarray:
+        """Replace an adopted matrix's content with checkpointed state.
+
+        Called by :meth:`GossipEngine.restore
+        <repro.kernel.engine.GossipEngine.restore>` after ordinary
+        construction already adopted a freshly built matrix: when the
+        checkpoint has the same shape the content is copied in place
+        (one pass, the adopted storage — shared segment or heap array —
+        is reused); a shape change (churn grew the capacity, an epoch
+        rebuild changed the instance count) routes through
+        :meth:`allocate_matrix` so backend-owned storage is resized the
+        same way a live run would resize it.
+        """
+        if matrix.shape == saved.shape:
+            self.sync()
+            np.copyto(matrix, saved)
+            return matrix
+        fresh = self.allocate_matrix(*saved.shape)
+        np.copyto(fresh, saved)
+        return fresh
+
     def sync(self) -> None:
         """Block until every previously submitted apply call has fully
         landed in the matrix.

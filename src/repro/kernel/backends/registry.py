@@ -46,8 +46,14 @@ def parse_backend_spec(
     (an int) or ``sharded:auto`` (the string ``"auto"``). Raises
     :class:`BackendSpecError` on anything else; ``allow_auto`` admits
     the ``"auto"`` placeholder (valid on a scenario, not for direct
-    instantiation).
+    instantiation). A pre-built :class:`ExecutionBackend` instance
+    passes through as ``(instance.name, None)`` — scenarios accept
+    one where a spec string goes, which is how a specially configured
+    backend (a self-healing pool, an armed fault harness) is handed
+    to an engine.
     """
+    if isinstance(spec, ExecutionBackend):
+        return spec.name, None
     if not isinstance(spec, str):
         raise BackendSpecError(spec, valid=BACKEND_FORMS,
                                reason="spec must be a string")
@@ -89,9 +95,12 @@ def parse_backend_spec(
     raise BackendSpecError(spec, valid=BACKEND_FORMS)
 
 
-def make_backend(name: str) -> ExecutionBackend:
+def make_backend(name: Union[str, ExecutionBackend]) -> ExecutionBackend:
     """Instantiate a backend by concrete spec (not ``"auto"``; resolve
-    that via :meth:`Scenario.resolve_backend` first)."""
+    that via :meth:`Scenario.resolve_backend` first). A pre-built
+    backend instance is returned as-is."""
+    if isinstance(name, ExecutionBackend):
+        return name
     base, workers = parse_backend_spec(name)
     if base == "reference":
         return ReferenceBackend()

@@ -82,11 +82,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
 import sys
 import time
 import traceback
 import weakref
 from collections import deque
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Deque, List, Optional, Sequence, Tuple, Union
 
@@ -94,6 +96,7 @@ import numpy as np
 
 from ...core.aggregates import AggregateFunction
 from ...errors import ConfigurationError, ShardPoolError, SimulationError
+from ..faults import BACKEND_FAULT_KINDS, FaultSpec
 from .base import (
     SEGMENT_BATCH,
     SEGMENT_SEQUENTIAL,
@@ -127,6 +130,19 @@ SHARD_INLINE = 65536
 #: default seconds a barrier/acknowledgement wait may block before the
 #: pool is declared dead (override via ``REPRO_SHARD_TIMEOUT``)
 _DEFAULT_TIMEOUT = 120.0
+
+#: what a pool failure does: ``raise`` surfaces a ShardPoolError (the
+#: historical fail-fast behavior), ``respawn`` replays the in-flight
+#: schedule inline and restarts the workers (up to ``max_respawns``
+#: times, then degrades), ``inline`` degrades to in-process vectorized
+#: execution immediately — the run always finishes.
+POOL_FAILURE_MODES = ("raise", "respawn", "inline")
+
+#: default respawn budget before a ``respawn`` pool degrades to inline
+_DEFAULT_MAX_RESPAWNS = 2
+
+#: first respawn backoff; doubles per attempt, capped at 1 s
+_RESPAWN_BACKOFF = 0.05
 
 
 def _barrier_timeout() -> float:
@@ -163,6 +179,76 @@ def _pipelined_default() -> bool:
     raise ConfigurationError(
         f"REPRO_SHARD_PIPELINE must be a boolean flag (0/1), got {env!r}"
     )
+
+
+def _on_failure_default() -> str:
+    """The pool failure policy from ``REPRO_SHARD_ON_FAILURE``
+    (default ``"raise"``; see :data:`POOL_FAILURE_MODES`)."""
+    env = os.environ.get("REPRO_SHARD_ON_FAILURE", "").strip().lower()
+    if not env:
+        return "raise"
+    if env in POOL_FAILURE_MODES:
+        return env
+    raise ConfigurationError(
+        f"REPRO_SHARD_ON_FAILURE must be one of {POOL_FAILURE_MODES}, "
+        f"got {env!r}"
+    )
+
+
+def _max_respawns_default() -> int:
+    """The respawn budget from ``REPRO_SHARD_MAX_RESPAWNS`` (default
+    :data:`_DEFAULT_MAX_RESPAWNS`)."""
+    env = os.environ.get("REPRO_SHARD_MAX_RESPAWNS", "").strip()
+    if not env:
+        return _DEFAULT_MAX_RESPAWNS
+    try:
+        value = int(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SHARD_MAX_RESPAWNS must be a non-negative integer, "
+            f"got {env!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"REPRO_SHARD_MAX_RESPAWNS must be non-negative, got {value}"
+        )
+    return value
+
+
+class _PoolFailure(Exception):
+    """Internal signal a detection site raises under a self-healing
+    failure policy instead of aborting the pool: the recovery
+    boundaries (:meth:`ShardedBackend.sync`, ``_apply``, ``_map``)
+    catch it and decide between replay-and-respawn and degrading.
+    Never escapes the backend."""
+
+    def __init__(self, phase: str, worker: Optional[int], failure: str):
+        super().__init__(phase)
+        self.phase = phase
+        self.worker = worker
+        self.failure = failure
+
+
+@dataclass(frozen=True)
+class PoolHealthReport:
+    """What happened to a sharded pool over its lifetime.
+
+    ``events`` carries one dict per detected failure (``phase``,
+    ``worker``, ``action`` taken, whether an in-flight schedule was
+    ``replayed`` inline, recovery ``seconds``, worker diagnostics).
+    A report with no events is a run the pool survived untouched.
+    """
+
+    on_failure: str
+    workers: int
+    respawns: int
+    degraded: bool
+    events: Tuple[dict, ...] = field(default_factory=tuple)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total wall-clock spent inside failure recovery."""
+        return float(sum(e.get("seconds", 0.0) for e in self.events))
 
 
 def _inline_threshold() -> int:
@@ -277,6 +363,11 @@ def _worker_main(
                 conn.send(("remapped", name))
             elif command == "functions":
                 functions = message[1]
+            elif command == "sleep":
+                # the delay_ack fault: stall this worker's command
+                # stream (a sleep past the pool timeout is how the
+                # fault harness turns a worker into a detected hang)
+                time.sleep(message[1])
             elif command == "apply":
                 _, bank, segments = message
                 step_i, step_j = banks[bank]
@@ -371,6 +462,8 @@ class ShardedBackend(ExecutionBackend):
         chunk: Optional[int] = None,
         pipelined: Optional[bool] = None,
         inline_below: Optional[int] = None,
+        on_failure: Optional[str] = None,
+        max_respawns: Optional[int] = None,
     ):
         self._auto = workers == "auto"
         if workers is None or self._auto:
@@ -395,6 +488,36 @@ class ShardedBackend(ExecutionBackend):
         self._inline_below = (
             _inline_threshold() if inline_below is None else int(inline_below)
         )
+        if on_failure is None:
+            on_failure = _on_failure_default()
+        if on_failure not in POOL_FAILURE_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {POOL_FAILURE_MODES}, "
+                f"got {on_failure!r}"
+            )
+        self._on_failure = on_failure
+        if max_respawns is None:
+            max_respawns = _max_respawns_default()
+        if max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be non-negative, got {max_respawns}"
+            )
+        self._max_respawns = int(max_respawns)
+        # self-healing state: respawn budget spent, degraded-to-inline
+        # flag (sticky — it records that the pool was lost), the
+        # failure event log behind health_report(), and the armed
+        # fault injections with the apply-call counter they key on
+        self._respawns_used = 0
+        self._degraded = False
+        self._events: List[dict] = []
+        self._faults: List[FaultSpec] = []
+        self._apply_calls = 0
+        # healing journal: a pre-publish snapshot of the value matrix
+        # plus a heap copy of the scheduled steps, enough to replay
+        # the one in-flight schedule inline after the pool died
+        self._snapshot: Optional[np.ndarray] = None
+        self._journal: Optional[Tuple] = None
+        self._journal_pending = False
         #: parent-side wall-clock breakdown, accumulated across calls:
         #: ``plan`` = segmentation + bank writes + publish, ``apply`` =
         #: parent-applied work (sequential tails in barrier mode,
@@ -474,6 +597,60 @@ class ShardedBackend(ExecutionBackend):
         adopted matrix stayed in-process; no pool, no segment)."""
         return self._inline
 
+    @property
+    def on_failure(self) -> str:
+        """The pool failure policy (see :data:`POOL_FAILURE_MODES`)."""
+        return self._on_failure
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool was lost and execution fell back to the
+        in-process vectorized path (sticky for the backend's life)."""
+        return self._degraded
+
+    def inject_faults(self, specs: Sequence[FaultSpec]) -> None:
+        """Arm the backend with fault injections (the test harness).
+
+        Each spec fires once, right before the apply call its
+        ``at_call`` names publishes its schedule; see
+        :class:`~repro.kernel.faults.FaultSpec`. Only backend-side
+        kinds are accepted (``parent_kill`` is orchestrated by
+        :func:`~repro.kernel.faults.spawn_and_kill`)."""
+        armed = []
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"inject_faults takes FaultSpec instances, got "
+                    f"{type(spec).__name__}"
+                )
+            if spec.kind not in BACKEND_FAULT_KINDS:
+                raise ConfigurationError(
+                    f"fault kind {spec.kind!r} cannot be injected into "
+                    f"a backend; use the external harness "
+                    f"(spawn_and_kill) instead"
+                )
+            if spec.kind in ("kill_worker", "delay_ack") and (
+                spec.worker >= self.workers
+            ):
+                raise ConfigurationError(
+                    f"fault targets worker {spec.worker} but the pool "
+                    f"has {self.workers} workers"
+                )
+            armed.append(spec)
+        self._faults.extend(armed)
+
+    def health_report(self) -> PoolHealthReport:
+        """The pool's failure/recovery history (empty events for an
+        undisturbed run). Survives :meth:`close`, so it can be read
+        after the engine released the backend."""
+        return PoolHealthReport(
+            on_failure=self._on_failure,
+            workers=self.workers,
+            respawns=self._respawns_used,
+            degraded=self._degraded,
+            events=tuple(dict(event) for event in self._events),
+        )
+
     def release_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """A heap copy of the shared view, safe to read after
         :meth:`close` (see the base-class contract). Drains any
@@ -505,6 +682,13 @@ class ShardedBackend(ExecutionBackend):
         self._barrier = None
         self._inflight.clear()
         self._next_bank = 0
+        # the healing journal dies with the run; _degraded and the
+        # event log survive close() so health_report() still tells
+        # the story after the engine released the backend
+        self._snapshot = None
+        self._journal = None
+        self._journal_pending = False
+        self._faults = []
         if self._finalizer.alive:
             self._finalizer()
         self._finalizer = weakref.finalize(
@@ -519,17 +703,33 @@ class ShardedBackend(ExecutionBackend):
         detail = self._pool_error()
         _stop_pool(self._procs, self._pipes)
         for shm in self._shm_holder:
-            _unlink(shm)
             self._parked.append(shm)
         self._shm_holder.clear()
-        self._barrier = None
-        self._sent_functions = None
-        self._inflight.clear()
+        try:
+            # every parked mapping stays open for stale views, but no
+            # name may survive the abort: a failure during a remap
+            # round-trip parks the previous generation *before* its
+            # name is unlinked, and close()/GC only unlink what is
+            # still in the holder — without this sweep that name would
+            # leak in /dev/shm for the life of the machine. _unlink is
+            # idempotent, so re-sweeping already-unlinked parks is free.
+            for shm in self._parked:
+                _unlink(shm)
+        finally:
+            self._barrier = None
+            self._sent_functions = None
+            self._inflight.clear()
+            self._journal_pending = False
         return detail
 
     def _fail(self, phase: str, worker: Optional[int], failure: str):
-        """Abort the pool and raise the typed error naming the stalled
-        worker and the protocol phase that broke."""
+        """Route a detected pool failure: under a self-healing policy
+        raise the internal recovery signal (the pool is torn down by
+        the recovery boundary, which still holds the journal); under
+        ``raise`` abort the pool and raise the typed error naming the
+        stalled worker and the protocol phase that broke."""
+        if self._on_failure != "raise":
+            raise _PoolFailure(phase, worker, failure)
         prefix = "" if worker is None else f"worker {worker}: {failure}\n"
         detail = f"{prefix}{self._abort()}"
         raise ShardPoolError(phase, worker=worker, detail=detail)
@@ -552,7 +752,7 @@ class ShardedBackend(ExecutionBackend):
         )
 
     def _ensure_pool(self) -> None:
-        if self._procs:
+        if self._procs or self._degraded:
             return
         # make sure the resource-tracker process exists *before* the
         # workers fork, so they inherit its pipe and share it: a worker
@@ -628,13 +828,33 @@ class ShardedBackend(ExecutionBackend):
                        "barrier broken")
         self.phase_seconds["sync"] += time.perf_counter() - started
 
+    def _poll_with_liveness(self, index: int, pipe) -> bool:
+        """Poll a worker's pipe in growing slices, checking process
+        liveness between slices: a SIGKILLed worker is detected in
+        tens of milliseconds instead of blocking the full pool
+        timeout (recovery latency is a benchmarked metric, and the
+        fail-fast ``raise`` mode reports just as quickly)."""
+        deadline = time.perf_counter() + self._timeout
+        slice_seconds = 0.01
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return pipe.poll(0)
+            if pipe.poll(min(slice_seconds, remaining)):
+                return True
+            if not self._procs[index].is_alive():
+                # one grace poll: the worker may have sent its reply
+                # (or an error report) in its dying moments
+                return pipe.poll(0.25)
+            slice_seconds = min(slice_seconds * 2, 0.5)
+
     def _await_acks(self, expected: str, phase: str,
                     payload=None) -> None:
         """One confirmation message from every worker, in pool order."""
         for index, pipe in enumerate(self._pipes):
             failure = None
             try:
-                if pipe.poll(self._timeout):
+                if self._poll_with_liveness(index, pipe):
                     message = pipe.recv()
                     if (
                         message
@@ -646,6 +866,8 @@ class ShardedBackend(ExecutionBackend):
                         message[1] if message and message[0] == "error"
                         else f"unexpected reply {message!r}"
                     )
+                elif not self._procs[index].is_alive():
+                    failure = f"died before its {expected!r} reply"
                 else:
                     failure = f"no {expected!r} reply within timeout"
             except (EOFError, OSError):
@@ -658,6 +880,11 @@ class ShardedBackend(ExecutionBackend):
         bank = self._inflight[0]
         self._await_acks("applied", "apply", payload=bank)
         self._inflight.popleft()
+        if not self._inflight:
+            # everything published is applied: the healing journal has
+            # nothing left to replay (healing mode keeps at most one
+            # schedule in flight, so this fires after every drain)
+            self._journal_pending = False
 
     def _drain_bank(self, bank: int) -> None:
         """Phase one of the bank handoff: the parent may only plan
@@ -668,22 +895,191 @@ class ShardedBackend(ExecutionBackend):
     def sync(self) -> None:
         """Block until every published schedule has been applied (the
         engine calls this before matrix reads and engine-side writes;
-        a no-op for barrier mode, inline mode and idle pools)."""
+        a no-op for barrier mode, inline mode and idle pools). Under a
+        self-healing failure policy a pool death detected here is
+        recovered in place: the journaled schedule is replayed inline,
+        so the matrix the caller is about to read is exactly the state
+        the dead pool was asked to produce."""
         if not self._inflight:
             return
         started = time.perf_counter()
         try:
             while self._inflight:
-                self._drain_oldest()
+                try:
+                    self._drain_oldest()
+                except _PoolFailure as failure:
+                    self._recover(failure)
         finally:
             self.phase_seconds["sync"] += time.perf_counter() - started
+
+    # -- self-healing -----------------------------------------------------
+
+    def _journal_schedule(self, bank: int, segments: List[Segment],
+                          functions: Tuple) -> None:
+        """Snapshot the value matrix and copy the scheduled steps to
+        the heap before the schedule is published: if the pool dies
+        mid-apply, restore + inline replay reproduces the post-apply
+        state bit for bit. The copies are taken *before* any fault can
+        corrupt the shared bank, so replay is always from clean state.
+        """
+        rows, k = self._view.shape
+        if self._snapshot is None or self._snapshot.shape != (rows, k):
+            self._snapshot = np.empty((rows, k), dtype=np.float64)
+        np.copyto(self._snapshot, self._view)
+        step_i, step_j = self._banks[bank]
+        cursor = segments[-1][1] if segments else 0
+        self._journal = (
+            functions,
+            step_i[:cursor].copy(),
+            step_j[:cursor].copy(),
+            list(segments),
+        )
+        self._journal_pending = True
+
+    def _replay_journal(self) -> None:
+        """Restore the pre-publish snapshot and apply the journaled
+        schedule inline, in schedule order — the exact work the dead
+        pool owed, with the same segmentation, so the result is
+        bitwise what the workers would have produced."""
+        functions, step_i, step_j, segments = self._journal
+        np.copyto(self._view, self._snapshot)
+        for start, end, kind in segments:
+            if kind == _BATCH:
+                apply_disjoint_batch(
+                    self._view, functions,
+                    step_i[start:end], step_j[start:end],
+                )
+            else:
+                apply_sequential(
+                    self._view, functions,
+                    step_i[start:end], step_j[start:end],
+                )
+        self._journal_pending = False
+
+    def _respawn_pool(self) -> None:
+        """Bring a fresh worker pool up on the *current* segment:
+        spawn, remap, and leave the functions to be re-sent by the
+        next apply (``_sent_functions`` was invalidated)."""
+        self._ensure_pool()
+        if self._view is not None:
+            rows, k = self._view.shape
+            name = self._shm_holder[0].name
+            self._broadcast(("remap", name, rows, k, self._steps_cap))
+            self._await_acks("remapped", "remap", payload=name)
+
+    def _recover(self, failure: _PoolFailure) -> bool:
+        """The self-healing boundary: tear the dead pool down, replay
+        any journaled in-flight schedule inline, then respawn (within
+        the ``max_respawns`` budget) or degrade to in-process
+        vectorized execution for the rest of the run. Returns whether
+        a journaled schedule was replayed — ``True`` means the failed
+        apply call's work is already complete."""
+        started = time.perf_counter()
+        detail = self._pool_error()
+        if self._barrier is not None:
+            try:
+                # wake workers blocked on the barrier so _stop_pool
+                # joins them in milliseconds, not join-timeouts
+                self._barrier.abort()
+            except Exception:  # pragma: no cover - teardown race
+                pass
+        _stop_pool(self._procs, self._pipes)
+        self._barrier = None
+        self._sent_functions = None
+        self._inflight.clear()
+        replayed = False
+        if self._journal_pending:
+            self._replay_journal()
+            replayed = True
+        event = {
+            "phase": failure.phase,
+            "worker": failure.worker,
+            "failure": failure.failure,
+            "detail": detail[:2000],
+            "replayed": replayed,
+        }
+        while True:
+            if (
+                self._on_failure == "respawn"
+                and self._respawns_used < self._max_respawns
+            ):
+                self._respawns_used += 1
+                time.sleep(min(
+                    _RESPAWN_BACKOFF * 2 ** (self._respawns_used - 1),
+                    1.0,
+                ))
+                try:
+                    self._respawn_pool()
+                except _PoolFailure as again:  # pragma: no cover
+                    # the respawned pool died during its own remap:
+                    # burn another respawn credit (or fall through to
+                    # degrade) rather than surfacing the failure
+                    self._events.append({
+                        "phase": again.phase,
+                        "worker": again.worker,
+                        "failure": again.failure,
+                        "detail": self._pool_error()[:2000],
+                        "replayed": False,
+                        "action": "respawn-failed",
+                        "seconds": 0.0,
+                    })
+                    _stop_pool(self._procs, self._pipes)
+                    self._barrier = None
+                    continue
+                event["action"] = "respawn"
+            else:
+                # budget exhausted (or on_failure="inline"): the rest
+                # of the run executes in-process on the same memory —
+                # slower, never wrong, and it always finishes
+                self._degraded = True
+                event["action"] = "inline"
+            break
+        event["seconds"] = time.perf_counter() - started
+        self._events.append(event)
+        return replayed
+
+    def _fire_faults(self, bank: int, call: int) -> None:
+        """Fire armed fault injections keyed to this apply call.
+
+        Runs after the schedule is journaled and before it is
+        published, so every fault hits a pool with a clean replay
+        journal — exactly the window a real mid-apply crash lands in.
+        """
+        if not self._faults:
+            return
+        remaining = []
+        for spec in self._faults:
+            if spec.at_call != call:
+                remaining.append(spec)
+                continue
+            if spec.kind == "kill_worker":
+                proc = self._procs[spec.worker]
+                if proc.pid is not None and proc.is_alive():
+                    os.kill(proc.pid, signal.SIGKILL)
+            elif spec.kind == "delay_ack":
+                try:
+                    self._pipes[spec.worker].send(("sleep", spec.delay))
+                except OSError:  # pragma: no cover - already dead
+                    pass
+            elif spec.kind == "corrupt_bank":
+                # out-of-range rows: the first worker to touch the
+                # segment IndexErrors, reports, and aborts the pool
+                step_i, _ = self._banks[bank]
+                rows = self._view.shape[0]
+                step_i[:max(1, min(8, self._steps_cap))] = rows * 7 + 3
+        self._faults = remaining
 
     # -- shared-memory mapping --------------------------------------------
 
     def _map(self, rows: int, k: int, steps_cap: int) -> None:
-        """(Re)create the shared segment and switch the pool over."""
+        """(Re)create the shared segment and switch the pool over.
+
+        In a degraded (pool-lost) backend the segment is still mapped
+        — it is plain memory to the inline path — but no pool is
+        spawned and no remap round-trip happens."""
         self.sync()
-        self._ensure_pool()
+        if not self._degraded:
+            self._ensure_pool()
         nbytes = max(rows * k * 8 + steps_cap * 16, 1)
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
         view, banks = _carve(shm, rows, k, steps_cap)
@@ -697,11 +1093,33 @@ class ShardedBackend(ExecutionBackend):
         # (its name is still linked at this point; _unlink is tolerant)
         older = list(self._parked)
         self._parked.extend(previous)
-        self._broadcast(("remap", shm.name, rows, k, steps_cap))
-        # wait until every worker confirms it attached the new segment:
-        # unlinking the previous name before a slow worker processed an
-        # *earlier* remap command would make that attach fail
-        self._await_acks("remapped", "remap", payload=shm.name)
+        try:
+            if not self._degraded:
+                try:
+                    self._broadcast(
+                        ("remap", shm.name, rows, k, steps_cap)
+                    )
+                    # wait until every worker confirms it attached the
+                    # new segment: unlinking the previous name before a
+                    # slow worker processed an *earlier* remap command
+                    # would make that attach fail
+                    self._await_acks("remapped", "remap",
+                                     payload=shm.name)
+                except _PoolFailure as failure:
+                    # self-healing: recovery either respawned the pool
+                    # (remapping the current segment itself, acks and
+                    # all) or degraded to inline (the fresh mapping is
+                    # plain memory) — the switch-over is complete
+                    # either way
+                    self._recover(failure)
+        finally:
+            # previous-generation *names* must never outlive the
+            # switch-over, success or failure: their parent mappings
+            # stay parked for stale views, but a leaked name would
+            # pin the segment in /dev/shm forever (_unlink tolerates
+            # the abort path having swept them already)
+            for old in previous:
+                _unlink(old)
         # grandparent generations can go: the engine re-adopted the
         # *previous* segment's replacement synchronously, so no live
         # view of anything older can remain (keeping them all would
@@ -712,8 +1130,6 @@ class ShardedBackend(ExecutionBackend):
         # (workers closed their mappings on remap).
         for stale in older:
             stale.close()
-        for old in previous:
-            _unlink(old)
         self._parked[:] = previous
 
     def adopt_matrix(self, matrix: np.ndarray) -> np.ndarray:
@@ -812,16 +1228,20 @@ class ShardedBackend(ExecutionBackend):
                 "the sharded backend does not support exchange tracing; "
                 "use backend='reference'"
             )
-        if self._inline or (
-            not self._adopted and self._inline_eligible(matrix.shape[0])
-        ):
+        def fallback() -> None:
             started = time.perf_counter()
             self._ensure_vector().apply_exchanges(
                 matrix, functions, exch_i, exch_j, cycle=cycle
             )
             self.phase_seconds["apply"] += time.perf_counter() - started
+
+        if self._inline or self._degraded or (
+            not self._adopted and self._inline_eligible(matrix.shape[0])
+        ):
+            fallback()
             return
-        self._apply(matrix, functions, exch_i, exch_j, None, self._chunk)
+        self._apply(matrix, functions, exch_i, exch_j, None, self._chunk,
+                    fallback)
 
     def apply_pairs(
         self,
@@ -840,26 +1260,32 @@ class ShardedBackend(ExecutionBackend):
                 "the sharded backend does not support exchange tracing; "
                 "use backend='reference'"
             )
-        if self._inline or (
-            not self._adopted and self._inline_eligible(matrix.shape[0])
-        ):
+        def fallback() -> None:
             started = time.perf_counter()
             self._ensure_vector().apply_pairs(
                 matrix, functions, pairs_i, pairs_j,
                 plan=plan, chunk=chunk, cycle=cycle,
             )
             self.phase_seconds["apply"] += time.perf_counter() - started
+
+        if self._inline or self._degraded or (
+            not self._adopted and self._inline_eligible(matrix.shape[0])
+        ):
+            fallback()
             return
         window = self._chunk if chunk is None else resolve_chunk(chunk)
-        self._apply(matrix, functions, pairs_i, pairs_j, plan, window)
+        self._apply(matrix, functions, pairs_i, pairs_j, plan, window,
+                    fallback)
 
-    def _apply(self, matrix, functions, raw_i, raw_j, plan, window) -> None:
+    def _apply(self, matrix, functions, raw_i, raw_j, plan, window,
+               fallback) -> None:
         planned = time.perf_counter()
         pending_i = np.ascontiguousarray(raw_i, dtype=np.int32)
         pending_j = np.ascontiguousarray(raw_j, dtype=np.int32)
         m = len(pending_i)
         if m == 0:
             return
+        healing = self._on_failure != "raise"
         borrowed = matrix is not self._view
         if borrowed:
             if self._adopted:
@@ -892,45 +1318,82 @@ class ShardedBackend(ExecutionBackend):
                 f"re-adopted (engine hand-off) before applying more "
                 f"steps than rows"
             )
-        self._ensure_functions(functions)
-        bank = self._next_bank
-        # two-phase bank handoff, phase one: this bank's previous
-        # schedule must be acknowledged before its buffers are reused
-        # (phase two is the publish below). The *other* bank may still
-        # be in flight — that is the overlap. Time the wait as "sync",
-        # not "plan": it is worker-apply latency, not parent CPU.
-        drain_started = time.perf_counter()
-        self._drain_bank(bank)
-        drain_seconds = time.perf_counter() - drain_started
-        self.phase_seconds["sync"] += drain_seconds
-        segments = self._schedule(pending_i, pending_j, plan, window, bank)
-        self.phase_seconds["plan"] += (
-            time.perf_counter() - planned - drain_seconds
-        )
-        self._broadcast(("apply", bank, segments))
-        if self._pipelined:
-            self._inflight.append(bank)
-            self._next_bank = bank ^ 1
-            if borrowed:
-                # direct use has no engine to call sync() before its
-                # reads — drain in-call and hand the result back
-                self.sync()
-                np.copyto(matrix, self._view)
-            return
-        step_i, step_j = self._banks[bank]
-        for start, end, kind in segments:
-            if kind == _SEQUENTIAL:
-                applied = time.perf_counter()
-                apply_sequential(
-                    self._view, functions,
-                    step_i[start:end], step_j[start:end],
+        if healing:
+            # serialize the pipeline to at most one schedule in
+            # flight: the journal then describes exactly the work a
+            # dead pool owes. The _map/sync above may already have
+            # recovered by degrading — route this call inline then.
+            self.sync()
+            if self._degraded:
+                fallback()
+                return
+        call_index = self._apply_calls
+        self._apply_calls += 1
+        while True:
+            try:
+                self._ensure_functions(functions)
+                bank = self._next_bank
+                # two-phase bank handoff, phase one: this bank's
+                # previous schedule must be acknowledged before its
+                # buffers are reused (phase two is the publish below).
+                # The *other* bank may still be in flight — that is
+                # the overlap. Time the wait as "sync", not "plan":
+                # it is worker-apply latency, not parent CPU.
+                drain_started = time.perf_counter()
+                self._drain_bank(bank)
+                drain_seconds = time.perf_counter() - drain_started
+                self.phase_seconds["sync"] += drain_seconds
+                segments = self._schedule(
+                    pending_i, pending_j, plan, window, bank
                 )
-                self.phase_seconds["apply"] += (
-                    time.perf_counter() - applied
+                self.phase_seconds["plan"] += (
+                    time.perf_counter() - planned - drain_seconds
                 )
-            self._wait()
-        if borrowed:
-            np.copyto(matrix, self._view)
+                if healing:
+                    self._journal_schedule(bank, segments,
+                                           tuple(functions))
+                self._fire_faults(bank, call_index)
+                self._broadcast(("apply", bank, segments))
+                if self._pipelined:
+                    self._inflight.append(bank)
+                    self._next_bank = bank ^ 1
+                    if borrowed:
+                        # direct use has no engine to call sync()
+                        # before its reads — drain in-call and hand
+                        # the result back
+                        self.sync()
+                        np.copyto(matrix, self._view)
+                    return
+                step_i, step_j = self._banks[bank]
+                for start, end, kind in segments:
+                    if kind == _SEQUENTIAL:
+                        applied = time.perf_counter()
+                        apply_sequential(
+                            self._view, functions,
+                            step_i[start:end], step_j[start:end],
+                        )
+                        self.phase_seconds["apply"] += (
+                            time.perf_counter() - applied
+                        )
+                    self._wait()
+                self._journal_pending = False
+                if borrowed:
+                    np.copyto(matrix, self._view)
+                return
+            except _PoolFailure as failure:
+                if self._recover(failure):
+                    # the journaled schedule was replayed inline:
+                    # this call's work is complete
+                    if borrowed:
+                        np.copyto(matrix, self._view)
+                    return
+                if self._degraded:
+                    # the failure hit before this schedule was
+                    # journaled — nothing was lost; apply in-process
+                    fallback()
+                    return
+                # pool respawned with nothing published: retry
+                planned = time.perf_counter()
 
     # -- the planner ------------------------------------------------------
 

@@ -60,13 +60,22 @@ land in :attr:`KernelRunResult.phi_counts`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import CheckpointError, ConfigurationError, SimulationError
 from ..rng import make_rng
 from .backends import ExecutionBackend, make_backend
+from .checkpoint import (
+    CheckpointSpec,
+    pickle_payload,
+    prune_checkpoints,
+    read_checkpoint,
+    unpickle_payload,
+    write_checkpoint,
+)
 from .lifecycle import EpochRestart, EpochView
 from .membership import PartnerProvider, build_provider
 from .pairs import PairDraw
@@ -702,6 +711,194 @@ class GossipEngine:
         """Finalize outputs of every completed epoch so far (copy)."""
         return list(self._epoch_results)
 
+    # -- checkpoint / resume ---------------------------------------------
+
+    @property
+    def _instances_rebuilt(self) -> bool:
+        """Whether an epoch restart replaced the scenario's instance
+        layout with positional ids (the Figure 4 leader-count case)."""
+        return self._names != self.scenario.instance_names
+
+    def checkpoint(self, directory: Union[str, Path]) -> Path:
+        """Serialize the full run state to ``directory`` and return the
+        new checkpoint's manifest path.
+
+        The snapshot captures everything the next cycle reads — value
+        matrix, alive/participant masks, RNG state, cycle and epoch
+        counters, slot-recycling bookkeeping, membership views, pair-φ
+        log — so :meth:`restore` resumes bitwise-identically on any
+        backend. The write is observation-grade: it drains in-flight
+        work like any matrix read but consumes no randomness and
+        mutates nothing, so a checkpointed run's trajectory equals an
+        uncheckpointed one's. Files land atomically (payload, then the
+        manifest as the commit record); see :mod:`repro.kernel.checkpoint`
+        for the format.
+        """
+        if self._closed:
+            raise SimulationError(
+                "this engine is closed; nothing left to checkpoint"
+            )
+        self._backend.sync()
+        arrays: Dict[str, np.ndarray] = {
+            "matrix": self._matrix,
+            "alive": self._alive,
+            "participant": self._participant,
+            "free_slots": np.asarray(self._free_slots, dtype=np.int64),
+            "rng_state": pickle_payload(self._rng.bit_generator.state),
+            "epoch_results": pickle_payload(self._epoch_results),
+        }
+        if self._attributes is not None:
+            arrays["attributes"] = self._attributes
+        if self._adv_mask is not None:
+            arrays["adv_mask"] = self._adv_mask
+        views = self._provider.view_matrix
+        if views is not None:
+            arrays["views"] = views
+        if self._phi_log:
+            arrays["phi_log"] = np.stack(self._phi_log)
+        manifest = {
+            "cycle": int(self.cycle),
+            "n": int(self.scenario.n),
+            "capacity": int(self.capacity),
+            "k": int(self._matrix.shape[1]),
+            "instances": [str(name) for name in self._names],
+            "instances_rebuilt": self._instances_rebuilt,
+            "membership": self._provider.name,
+            "bit_generator": type(self._rng.bit_generator).__name__,
+            "pair_mode": self._pair is not None,
+            "dynamic": bool(self._dynamic),
+            "backend": self.backend_name,
+            "epoch": int(self.epoch),
+            "epoch_start_cycle": int(self._epoch_start_cycle),
+            "size_at_epoch_start": int(self._size_at_epoch_start),
+            "last_finalized_epoch": int(self._last_finalized_epoch),
+            "top": int(self._top),
+            "mask_version": int(self._mask_version),
+        }
+        return write_checkpoint(directory, arrays, manifest)
+
+    def _load_state(self, manifest: Dict[str, Any],
+                    arrays: Dict[str, np.ndarray]) -> None:
+        """Overwrite this (freshly constructed) engine's mutable state
+        with a checkpoint's. Construction already consumed the same
+        construction-time randomness (adversary draw, provider
+        bootstrap) the checkpointed engine did; the restored RNG state
+        then discards it, so the resumed stream continues exactly where
+        the checkpointed run left off."""
+        scenario = self.scenario
+        checks = (
+            ("n", scenario.n),
+            ("membership", self._provider.name),
+            ("pair_mode", self._pair is not None),
+            ("dynamic", bool(self._dynamic)),
+            ("bit_generator", type(self._rng.bit_generator).__name__),
+        )
+        for key, expected in checks:
+            if manifest.get(key) != expected:
+                raise CheckpointError(
+                    f"checkpoint was taken under {key}="
+                    f"{manifest.get(key)!r}; this scenario has "
+                    f"{key}={expected!r}"
+                )
+        saved_matrix = np.ascontiguousarray(
+            arrays["matrix"], dtype=np.float64
+        )
+        capacity, k = saved_matrix.shape
+        rebuilt = bool(manifest.get("instances_rebuilt"))
+        if rebuilt:
+            if self._epochs is None:
+                raise CheckpointError(
+                    "checkpoint holds an epoch-rebuilt instance layout "
+                    "but this scenario declares no epochs"
+                )
+            # positional instance ids, every column running the epoch
+            # spec's AGGREGATE — exactly what _start_epoch rebuilds
+            self._functions = (self._epochs.function,) * k
+            self._names = tuple(range(k))
+        elif [str(name) for name in scenario.instance_names] != list(
+            manifest.get("instances", ())
+        ):
+            raise CheckpointError(
+                f"checkpoint instances {manifest.get('instances')} do "
+                f"not match the scenario's "
+                f"{[str(n) for n in scenario.instance_names]}"
+            )
+        self._matrix = self._backend.restore_matrix(
+            self._matrix, saved_matrix
+        )
+        self._alive = np.ascontiguousarray(arrays["alive"], dtype=bool)
+        self._participant = np.ascontiguousarray(
+            arrays["participant"], dtype=bool
+        )
+        if self._attributes is not None:
+            if "attributes" not in arrays:
+                raise CheckpointError(
+                    "checkpoint is missing the epoch attribute matrix "
+                    "this scenario's default restart reseeds from"
+                )
+            self._attributes = np.ascontiguousarray(
+                arrays["attributes"], dtype=np.float64
+            )
+        if self._adv_mask is not None:
+            if "adv_mask" not in arrays:
+                raise CheckpointError(
+                    "checkpoint is missing the adversary mask this "
+                    "scenario's AdversarySpec requires"
+                )
+            self._adv_mask = np.ascontiguousarray(
+                arrays["adv_mask"], dtype=bool
+            )
+        self._provider.load_state(
+            arrays.get("views")
+        )
+        self._free_slots = [int(slot) for slot in arrays["free_slots"]]
+        self._phi_log = (
+            [row.copy() for row in arrays["phi_log"]]
+            if "phi_log" in arrays
+            else []
+        )
+        self._epoch_results = list(unpickle_payload(arrays["epoch_results"]))
+        state = unpickle_payload(arrays["rng_state"])
+        self._rng.bit_generator.state = state
+        self.cycle = int(manifest["cycle"])
+        self.epoch = int(manifest["epoch"])
+        self._epoch_start_cycle = int(manifest["epoch_start_cycle"])
+        self._size_at_epoch_start = int(manifest["size_at_epoch_start"])
+        self._last_finalized_epoch = int(manifest["last_finalized_epoch"])
+        self._top = int(manifest["top"])
+        self._mask_version = int(manifest["mask_version"])
+        # fresh per-cycle scratch: buffers resize on first use and the
+        # initiator cache re-keys on the restored mask version
+        self._plan = CyclePlan()
+
+    @classmethod
+    def restore(
+        cls,
+        scenario: Scenario,
+        path: Union[str, Path],
+        *,
+        trace=None,
+    ) -> "GossipEngine":
+        """An engine resumed from a checkpoint, bitwise-identical to
+        the engine that wrote it.
+
+        ``scenario`` must be the checkpointed run's scenario (it holds
+        the callables — aggregates, churn models, epoch hooks — that a
+        checkpoint deliberately does not serialize); the ``backend``
+        field may differ, which is how a run checkpointed under the
+        sharded pool resumes in-process and vice versa. ``path`` may
+        be a manifest, a payload file, or a checkpoint directory (the
+        newest valid checkpoint wins).
+        """
+        manifest, arrays = read_checkpoint(path)
+        engine = cls(scenario, trace=trace)
+        try:
+            engine._load_state(manifest, arrays)
+        except BaseException:
+            engine.close()
+            raise
+        return engine
+
     # -- execution -------------------------------------------------------
 
     def _run_pair_cycle(self) -> int:
@@ -860,7 +1057,11 @@ class GossipEngine:
         return len(exch_i)
 
     def run(
-        self, cycles: Optional[int] = None, *, record: str = "cycle"
+        self,
+        cycles: Optional[int] = None,
+        *,
+        record: str = "cycle",
+        checkpoint: Optional[CheckpointSpec] = None,
     ) -> KernelRunResult:
         """Run ``cycles`` cycles (default: the scenario's budget).
 
@@ -872,6 +1073,13 @@ class GossipEngine:
         epoch) but always record the per-cycle ``alive_counts`` size
         trace and collect ``epoch_results``; an epoch that ends exactly
         at the cycle budget is finalized before returning.
+
+        ``checkpoint`` enables periodic auto-checkpointing: after every
+        ``spec.every_cycles`` completed cycles the engine writes a
+        checkpoint to ``spec.directory`` (atomically — a crash mid-write
+        never corrupts the last good one) and prunes to the ``spec.keep``
+        newest. Checkpointing consumes no randomness, so the recorded
+        trajectory is identical with or without it.
         """
         if cycles is None:
             cycles = self.scenario.cycles
@@ -882,6 +1090,13 @@ class GossipEngine:
         if record not in ("cycle", "end"):
             raise ConfigurationError(
                 f"record must be 'cycle' or 'end', got {record!r}"
+            )
+        if checkpoint is not None and not isinstance(
+            checkpoint, CheckpointSpec
+        ):
+            raise ConfigurationError(
+                f"checkpoint must be a CheckpointSpec, got "
+                f"{type(checkpoint).__name__}"
             )
         epoch_mode = self._epochs is not None
         # like exchange_counts/alive_counts, epoch_results are per-run:
@@ -905,6 +1120,13 @@ class GossipEngine:
                         result.means[name].append(self.mean(name))
                 result.alive_counts.append(self.alive_count)
             result.exchange_counts.append(exchanges)
+            if (
+                checkpoint is not None
+                and self.cycle % checkpoint.every_cycles == 0
+            ):
+                self.checkpoint(checkpoint.directory)
+                if checkpoint.keep is not None:
+                    prune_checkpoints(checkpoint.directory, checkpoint.keep)
         if not per_cycle and cycles > 0:
             if not epoch_mode:
                 for name in self._names:

@@ -232,6 +232,21 @@ class NewscastViews:
         backend.apply_view_exchanges(self.views, exch_i, exch_j)
         return len(exch_i)
 
+    def load(self, views: np.ndarray) -> None:
+        """Replace the view matrix with a checkpointed one (capacity
+        may differ from the bootstrap capacity after churn growth);
+        per-cycle scratch is resized to match."""
+        views = np.ascontiguousarray(views, dtype=np.int32)
+        if views.ndim != 2 or views.shape[1] != self.view_size:
+            raise ConfigurationError(
+                f"checkpointed view matrix has shape {views.shape}, "
+                f"expected (capacity, {self.view_size})"
+            )
+        self.views = views.copy()
+        capacity = views.shape[0]
+        self._peers = np.empty(capacity, dtype=np.int32)
+        self._ok = np.empty(capacity, dtype=bool)
+
     def in_degree_distribution(self) -> np.ndarray:
         """How many view entries point at each node (duplicate entries
         counted) — flatness indicates the overlay is close to random."""
@@ -299,6 +314,17 @@ class PartnerProvider:
     def state(self) -> Dict[str, object]:
         """A snapshot of provider state for observers and tests."""
         return {"name": self.name}
+
+    def load_state(self, views: Optional[np.ndarray]) -> None:
+        """Restore checkpointed per-node state. Stateless providers
+        (the oracle) accept only ``None``; providers holding views
+        replace their matrix wholesale."""
+        if views is not None:
+            raise ConfigurationError(
+                f"the {self.name!r} provider keeps no per-node views; "
+                f"the checkpoint was taken under a different membership "
+                f"layer"
+            )
 
     @property
     def view_matrix(self) -> Optional[np.ndarray]:
@@ -404,6 +430,14 @@ class NewscastProvider(PartnerProvider):
             "view_size": self._views.view_size,
             "views": self._views.views.copy(),
         }
+
+    def load_state(self, views: Optional[np.ndarray]) -> None:
+        if views is None:
+            raise ConfigurationError(
+                "the checkpoint holds no view matrix; it was taken "
+                "under a different membership layer than 'newscast'"
+            )
+        self._views.load(views)
 
     @property
     def view_matrix(self) -> Optional[np.ndarray]:

@@ -397,3 +397,42 @@ class Scenario:
         """A copy of this scenario with ``changes`` applied (the hook
         replication/sweep drivers use to re-seed per run)."""
         return dataclasses.replace(self, **changes)
+
+    def from_checkpoint(self, path, *, backend: Optional[str] = None
+                        ) -> "Scenario":
+        """This scenario, validated against a checkpoint and ready to
+        resume it — optionally on a different ``backend`` (resume is
+        bitwise-identical on any of them).
+
+        A checkpoint deliberately serializes no callables (aggregates,
+        churn models, epoch hooks), so resuming starts from the
+        original scenario object; this hook fails fast — before any
+        engine or worker pool is built — when ``path`` was recorded
+        under an incompatible configuration. Feed the result to
+        :meth:`GossipEngine.restore
+        <repro.kernel.engine.GossipEngine.restore>` together with the
+        same ``path``.
+        """
+        from ..errors import CheckpointError
+        from .checkpoint import read_manifest, resolve_checkpoint
+
+        manifest = read_manifest(resolve_checkpoint(path))
+        membership = (
+            "newscast" if self.membership is not None else "oracle"
+        )
+        checks = (
+            ("n", self.n),
+            ("membership", membership),
+            ("pair_mode", self.pair_protocol is not None),
+            ("dynamic", self.is_dynamic),
+        )
+        for key, expected in checks:
+            if manifest.get(key) != expected:
+                raise CheckpointError(
+                    f"checkpoint at {path} was taken under "
+                    f"{key}={manifest.get(key)!r}; this scenario has "
+                    f"{key}={expected!r}"
+                )
+        if backend is None or backend == self.backend:
+            return self
+        return self.replace(backend=backend)

@@ -1,0 +1,272 @@
+"""Checkpoint/resume correctness: bitwise equality and format hygiene.
+
+A checkpoint captures everything the next cycle reads — value matrix,
+liveness masks, RNG state, epoch bookkeeping, membership views, pair-φ
+log — so a restored engine must be indistinguishable from one that
+never stopped, on any backend and under any partner-draw layer. The
+tests here assert that end to end (full run vs checkpoint-and-resume,
+bitwise) and cover the on-disk format's crash discipline: atomic
+payload-then-manifest commits, torn-checkpoint skipping, checksum
+verification, and retention pruning.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.size_estimation import (
+    SizeEstimationConfig,
+    SizeEstimationExperiment,
+)
+from repro.errors import CheckpointError, ConfigurationError
+from repro.failures import ConstantRateChurn
+from repro.kernel import (
+    CheckpointSpec,
+    ChurnSpec,
+    GossipEngine,
+    PairProtocolSpec,
+    Scenario,
+    latest_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+    read_checkpoint,
+)
+from repro.topology import CompleteTopology
+
+pytestmark = pytest.mark.faults
+
+
+def _scenario(n=120, cycles=20, seed=23, backend="reference",
+              membership=None, churn=False, pair=False):
+    values = np.random.default_rng(5).normal(12.0, 3.0, n)
+    kwargs = {}
+    if membership is not None:
+        kwargs["membership"] = membership
+    if churn:
+        kwargs["churn"] = ChurnSpec(model=ConstantRateChurn(2, 3))
+    if pair:
+        kwargs["pair_protocol"] = PairProtocolSpec(selector="pm",
+                                                   track_phi=True)
+    return Scenario(CompleteTopology(n), values, cycles=cycles,
+                    seed=seed, backend=backend, **kwargs)
+
+
+def _round_trip(make_scenario, total, split, tmp_path,
+                resume_backend=None):
+    """Run ``total`` cycles straight vs checkpoint-at-``split`` +
+    resume; return both engines (caller closes)."""
+    full = GossipEngine(make_scenario())
+    full.run(total)
+
+    part = GossipEngine(make_scenario())
+    part.run(split)
+    manifest = part.checkpoint(tmp_path)
+    part.close()
+
+    scenario = make_scenario()
+    if resume_backend is not None:
+        scenario = scenario.replace(backend=resume_backend)
+    resumed = GossipEngine.restore(scenario, manifest)
+    assert resumed.cycle == split
+    resumed.run(total - split)
+    return full, resumed
+
+
+class TestRoundTrip:
+    """Resume is bitwise-identical to never stopping."""
+
+    @pytest.mark.parametrize("membership", [None, "newscast"])
+    @pytest.mark.parametrize(
+        "backend", ["reference", "vectorized", "sharded:2"]
+    )
+    def test_backends_and_providers(self, backend, membership, tmp_path):
+        full, resumed = _round_trip(
+            lambda: _scenario(backend=backend, membership=membership,
+                              churn=True),
+            total=20, split=12, tmp_path=tmp_path,
+        )
+        try:
+            assert np.array_equal(full.matrix, resumed.matrix)
+            assert np.array_equal(full.alive_mask, resumed.alive_mask)
+            assert full._rng.bit_generator.state == \
+                resumed._rng.bit_generator.state
+        finally:
+            full.close()
+            resumed.close()
+
+    def test_cross_backend_resume(self, tmp_path):
+        """A run checkpointed under the sharded pool resumes in-process
+        (and the other way round) without a bit of drift."""
+        full, resumed = _round_trip(
+            lambda: _scenario(n=400, backend="sharded:2", churn=True),
+            total=18, split=10, tmp_path=tmp_path,
+            resume_backend="reference",
+        )
+        try:
+            assert np.array_equal(full.matrix, resumed.matrix)
+            assert np.array_equal(full.alive_mask, resumed.alive_mask)
+        finally:
+            full.close()
+            resumed.close()
+
+    def test_pair_mode_phi_log(self, tmp_path):
+        """Pair-mode state (φ log included) survives the round trip;
+        the resumed ``run()`` reports only its own rows while the
+        engine keeps the cumulative log."""
+        full, resumed = _round_trip(
+            lambda: _scenario(n=90, backend="reference", pair=True),
+            total=14, split=8, tmp_path=tmp_path,
+        )
+        try:
+            assert np.array_equal(full.matrix, resumed.matrix)
+            assert np.array_equal(np.stack(full._phi_log),
+                                  np.stack(resumed._phi_log))
+        finally:
+            full.close()
+            resumed.close()
+
+    def test_experiment_resume(self, tmp_path):
+        """``SizeEstimationExperiment.resume`` rebuilds the epoch
+        bookkeeping (reports, in-flight instance count) so resumed
+        epochs finalize exactly like uninterrupted ones."""
+        def config(cycles):
+            return SizeEstimationConfig(
+                cycles=cycles, cycles_per_epoch=10,
+                expected_leaders=2.0, initial_size=300, seed=99,
+            )
+
+        full = SizeEstimationExperiment(
+            config(40), churn=ConstantRateChurn(4, 6),
+            backend="reference")
+        full.run()
+
+        part = SizeEstimationExperiment(
+            config(25), churn=ConstantRateChurn(4, 6),
+            backend="reference")
+        part.run(checkpoint=CheckpointSpec(directory=tmp_path,
+                                           every_cycles=25))
+
+        resumed = SizeEstimationExperiment(
+            config(40), churn=ConstantRateChurn(4, 6),
+            backend="vectorized")
+        resumed.resume(tmp_path)
+
+        assert len(full.reports) == len(resumed.reports)
+        for a, b in zip(full.reports, resumed.reports):
+            assert repr(a) == repr(b)
+        assert full.size_trace[25:] == resumed.size_trace
+
+    def test_resume_past_the_end_is_an_error(self, tmp_path):
+        part = SizeEstimationExperiment(
+            SizeEstimationConfig(cycles=20, cycles_per_epoch=10,
+                                 initial_size=200, seed=7),
+            backend="reference")
+        part.run(checkpoint=CheckpointSpec(directory=tmp_path,
+                                           every_cycles=20))
+        shorter = SizeEstimationExperiment(
+            SizeEstimationConfig(cycles=10, cycles_per_epoch=10,
+                                 initial_size=200, seed=7),
+            backend="reference")
+        with pytest.raises(ConfigurationError):
+            shorter.resume(tmp_path)
+
+
+class TestRngStateProperty:
+    """Property: the RNG bit-generator state round-trips exactly for
+    any (seed, split) and any backend × partner-provider pairing, so
+    every post-resume draw matches the uninterrupted run's."""
+
+    @pytest.mark.parametrize("membership", [None, "newscast"])
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           split=st.integers(min_value=1, max_value=11))
+    def test_rng_round_trip(self, backend, membership, seed, split,
+                            tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("rng")
+        full, resumed = _round_trip(
+            lambda: _scenario(n=64, cycles=12, seed=seed,
+                              backend=backend, membership=membership),
+            total=12, split=split, tmp_path=tmp,
+        )
+        try:
+            assert full._rng.bit_generator.state == \
+                resumed._rng.bit_generator.state
+            assert np.array_equal(full.matrix, resumed.matrix)
+        finally:
+            full.close()
+            resumed.close()
+
+
+class TestFormat:
+    """On-disk discipline: atomicity, torn-write recovery, checksums,
+    retention."""
+
+    def _write_one(self, tmp_path, cycles=5):
+        engine = GossipEngine(_scenario(n=40, cycles=cycles))
+        engine.run(cycles)
+        manifest = engine.checkpoint(tmp_path)
+        engine.close()
+        return manifest
+
+    def test_manifest_is_the_commit_record(self, tmp_path):
+        manifest = self._write_one(tmp_path)
+        payload = manifest.with_suffix(".npz")
+        assert manifest.exists() and payload.exists()
+        data = json.loads(manifest.read_text())
+        assert data["cycle"] == 5
+        assert data["sha256"]
+
+    def test_torn_checkpoint_is_skipped(self, tmp_path):
+        """A manifest whose payload vanished (the torn half of a crash
+        mid-write) must not be offered as the latest checkpoint."""
+        older = self._write_one(tmp_path, cycles=3)
+        newer = self._write_one(tmp_path, cycles=6)
+        newer.with_suffix(".npz").unlink()
+        assert latest_checkpoint(tmp_path) == older
+
+    def test_checksum_mismatch_raises(self, tmp_path):
+        manifest = self._write_one(tmp_path)
+        payload = manifest.with_suffix(".npz")
+        raw = bytearray(payload.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        payload.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(manifest)
+
+    def test_prune_keeps_newest(self, tmp_path):
+        engine = GossipEngine(_scenario(n=40, cycles=8))
+        for _ in range(4):
+            engine.run(2)
+            engine.checkpoint(tmp_path)
+        engine.close()
+        assert len(list_checkpoints(tmp_path)) == 4
+        removed = prune_checkpoints(tmp_path, keep=2)
+        assert removed == 2
+        remaining = list_checkpoints(tmp_path)
+        assert [json.loads(p.read_text())["cycle"] for p in remaining] \
+            == [6, 8]
+
+    def test_auto_checkpoint_spec(self, tmp_path):
+        """``CheckpointSpec(every_cycles=..., keep=...)`` writes on the
+        cadence and enforces retention as the run goes."""
+        engine = GossipEngine(_scenario(n=40, cycles=12))
+        engine.run(12, checkpoint=CheckpointSpec(
+            directory=tmp_path, every_cycles=3, keep=2))
+        engine.close()
+        remaining = list_checkpoints(tmp_path)
+        assert [json.loads(p.read_text())["cycle"] for p in remaining] \
+            == [9, 12]
+
+    def test_scenario_validation_fails_fast(self, tmp_path):
+        manifest = self._write_one(tmp_path)
+        with pytest.raises(CheckpointError):
+            _scenario(n=80).from_checkpoint(manifest)
+
+    def test_spec_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(directory=tmp_path, every_cycles=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(directory=tmp_path, every_cycles=5, keep=0)

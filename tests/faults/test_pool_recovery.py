@@ -1,0 +1,211 @@
+"""Self-healing shard pool: injected faults, recovery, bitwise equality.
+
+The pool's failure policy (``on_failure``) decides what a dead or
+stalled worker costs: ``"raise"`` fails fast with a typed
+:class:`ShardPoolError` (the historical behaviour), ``"respawn"``
+replays the journaled in-flight schedule inline and restarts the
+worker, ``"inline"`` degrades the backend to single-process vectorized
+execution for the rest of the run. Either way the run's trajectory
+must stay **bitwise identical** to an undisturbed reference run — the
+journal snapshot/replay exists precisely so recovery consumes no
+randomness and loses no exchanges. Faults are injected declaratively
+via :class:`FaultSpec` through ``ShardedBackend.inject_faults``.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardPoolError
+from repro.failures import ConstantRateChurn
+from repro.kernel import (
+    ChurnSpec,
+    FaultSpec,
+    GossipEngine,
+    Scenario,
+    ShardedBackend,
+)
+from repro.kernel.backends import POOL_FAILURE_MODES
+from repro.topology import CompleteTopology
+
+pytestmark = pytest.mark.faults
+
+N = 2500
+CYCLES = 12
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    """The undisturbed trajectory every recovered run must equal."""
+    engine = GossipEngine(_scenario("reference"))
+    engine.run(CYCLES)
+    yield engine
+    engine.close()
+
+
+def _scenario(backend):
+    values = np.random.default_rng(3).normal(10.0, 4.0, N)
+    return Scenario(CompleteTopology(N), values,
+                    churn=ChurnSpec(model=ConstantRateChurn(7, 11)),
+                    cycles=CYCLES, seed=17, backend=backend)
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if not name.startswith(".")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _run_with_faults(mode, faults, reference, max_respawns=2):
+    """Run under injected faults; assert bitwise equality against the
+    reference engine and no leaked shared-memory segments; return the
+    backend's health report."""
+    before = _shm_segments()
+    backend = ShardedBackend(2, on_failure=mode, max_respawns=max_respawns)
+    backend.inject_faults(faults)
+    engine = GossipEngine(_scenario(backend))
+    try:
+        engine.run(CYCLES)
+        assert np.array_equal(reference.matrix, engine.matrix)
+        assert np.array_equal(reference.alive_mask, engine.alive_mask)
+        report = backend.health_report()
+    finally:
+        engine.close()
+    assert _shm_segments() <= before, "leaked /dev/shm segments"
+    return report
+
+
+class TestRecovery:
+    def test_kill_worker_respawn(self, reference_run):
+        report = _run_with_faults(
+            "respawn",
+            [FaultSpec("kill_worker", worker=1, at_call=4)],
+            reference_run,
+        )
+        assert report.respawns == 1
+        assert not report.degraded
+        assert report.events and report.events[0]["action"] == "respawn"
+        assert report.recovery_seconds > 0.0
+
+    def test_corrupt_bank_respawn(self, reference_run):
+        """A corrupted schedule bank is survivable because the journal
+        copies were taken before the corruption hit shared memory."""
+        report = _run_with_faults(
+            "respawn",
+            [FaultSpec("corrupt_bank", at_call=3)],
+            reference_run,
+        )
+        assert report.respawns >= 1
+        assert not report.degraded
+
+    def test_delayed_ack_respawn(self, reference_run, monkeypatch):
+        """A worker that stalls past the pool timeout is treated like a
+        dead one: journal replay + respawn, still bitwise."""
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "0.5")
+        report = _run_with_faults(
+            "respawn",
+            [FaultSpec("delay_ack", worker=0, at_call=2, delay=2.0)],
+            reference_run,
+        )
+        assert report.respawns >= 1
+        assert not report.degraded
+
+    def test_kill_worker_inline_degrade(self, reference_run):
+        report = _run_with_faults(
+            "inline",
+            [FaultSpec("kill_worker", worker=0, at_call=2)],
+            reference_run,
+        )
+        assert report.degraded
+        assert report.respawns == 0
+        assert report.events[0]["action"] == "inline"
+
+    def test_respawn_budget_exhaustion_degrades(self, reference_run):
+        """More worker deaths than ``max_respawns`` flips respawn mode
+        into the inline degrade path instead of failing the run."""
+        report = _run_with_faults(
+            "respawn",
+            [FaultSpec("kill_worker", worker=1, at_call=2),
+             FaultSpec("kill_worker", worker=0, at_call=5),
+             FaultSpec("kill_worker", worker=1, at_call=8)],
+            reference_run,
+            max_respawns=2,
+        )
+        assert report.respawns == 2
+        assert report.degraded
+        assert [e["action"] for e in report.events] == \
+            ["respawn", "respawn", "inline"]
+
+    def test_raise_mode_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "3")
+        before = _shm_segments()
+        backend = ShardedBackend(2, on_failure="raise")
+        backend.inject_faults(
+            [FaultSpec("kill_worker", worker=1, at_call=3)])
+        engine = GossipEngine(_scenario(backend))
+        try:
+            with pytest.raises(ShardPoolError):
+                engine.run(CYCLES)
+        finally:
+            engine.close()
+        assert _shm_segments() <= before, "leaked /dev/shm segments"
+
+
+class TestConfiguration:
+    def test_failure_modes_are_closed(self):
+        assert POOL_FAILURE_MODES == ("raise", "respawn", "inline")
+        with pytest.raises(Exception):
+            ShardedBackend(2, on_failure="retry-forever")
+
+    def test_env_policy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_ON_FAILURE", "respawn")
+        backend = ShardedBackend(2)
+        assert backend.on_failure == "respawn"
+        backend.close()
+
+    def test_inject_faults_validation(self):
+        backend = ShardedBackend(2, on_failure="respawn")
+        try:
+            with pytest.raises(Exception):
+                backend.inject_faults([FaultSpec("parent_kill")])
+            with pytest.raises(Exception):
+                backend.inject_faults(
+                    [FaultSpec("kill_worker", worker=7)])
+            with pytest.raises(Exception):
+                backend.inject_faults(["kill_worker"])
+        finally:
+            backend.close()
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(Exception):
+            FaultSpec("meteor_strike")
+        with pytest.raises(Exception):
+            FaultSpec("kill_worker", at_call=-1)
+        with pytest.raises(Exception):
+            FaultSpec("delay_ack", delay=0.0)
+
+
+class TestShardPoolError:
+    """Satellite: the pool error survives pickling (worker -> parent
+    pipes, CI subprocesses) and collapses to one greppable repr line."""
+
+    def test_pickle_round_trip(self):
+        error = ShardPoolError("apply", worker=3,
+                               detail="Traceback ...\nboom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, ShardPoolError)
+        assert clone.phase == "apply"
+        assert clone.worker == 3
+        assert clone.detail == error.detail
+        assert str(clone) == str(error)
+
+    def test_repr_is_one_line(self):
+        error = ShardPoolError("barrier", worker=1,
+                               detail="line one\nline two\n" + "x" * 400)
+        text = repr(error)
+        assert "\n" not in text
+        assert "barrier" in text and "worker=1" in text
