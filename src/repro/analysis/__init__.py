@@ -15,8 +15,14 @@ from .runner import (
 )
 from .reporting import format_table, format_series, Table
 from .robustness import (
+    MESSAGE_FAULT_DIRECTIONS,
+    MESSAGE_FAULT_POLICIES,
+    MessageFaultSweep,
     RobustnessSweep,
+    render_message_fault_svg,
     render_robustness_svg,
+    retry_for_policy,
+    run_message_fault_sweep,
     run_robustness_sweep,
 )
 from .validation import (
@@ -41,7 +47,13 @@ __all__ = [
     "format_table",
     "format_series",
     "Table",
+    "MESSAGE_FAULT_DIRECTIONS",
+    "MESSAGE_FAULT_POLICIES",
+    "MessageFaultSweep",
     "RobustnessSweep",
+    "render_message_fault_svg",
     "render_robustness_svg",
+    "retry_for_policy",
+    "run_message_fault_sweep",
     "run_robustness_sweep",
 ]

@@ -40,7 +40,9 @@ from ..errors import ConfigurationError
 from ..failures.churn import ConstantRateChurn
 from ..kernel.adversary import ADVERSARY_KINDS, AdversarySpec
 from ..kernel.engine import GossipEngine
+from ..kernel.invariants import MassConservationMonitor
 from ..kernel.lifecycle import ChurnSpec, EpochSpec
+from ..kernel.messages import MessageFaultSpec, RetrySpec
 from ..kernel.robust import (
     ROBUST_REDUCTIONS,
     DEFAULT_TRIM,
@@ -49,7 +51,8 @@ from ..kernel.robust import (
     robust_reduce,
     size_from_count,
 )
-from ..rng import SeedLike, spawn_streams
+from ..kernel.scenario import Scenario
+from ..rng import SeedLike, make_rng, spawn_streams
 from ..topology.base import Topology
 from ..topology.complete import CompleteTopology
 from ..topology.random_regular import RandomRegularTopology
@@ -419,5 +422,388 @@ def render_robustness_svg(
             f'<text x="{left + margin}" y="{height - 6}">'
             f'adversary fraction (dashed = churn)</text>'
         )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# -- the message-fault degradation figure -------------------------------
+
+#: retry policies the degradation sweep compares; ``"none"`` runs the
+#: fault spec without any :class:`~repro.kernel.messages.RetrySpec`
+MESSAGE_FAULT_POLICIES = ("none", "retransmit", "redraw", "push_only")
+
+#: loss directions the sweep degrades along (the asymmetry is the
+#: point: request loss cancels cleanly, reply loss leaks mass)
+MESSAGE_FAULT_DIRECTIONS = ("request", "reply")
+
+_POLICY_COLORS = {
+    "none": "#7f8c8d",
+    "retransmit": "#2471a3",
+    "redraw": "#1e8449",
+    "push_only": "#c0392b",
+}
+
+
+def retry_for_policy(policy: str) -> Optional[RetrySpec]:
+    """The :class:`RetrySpec` a sweep policy name stands for (``None``
+    for the no-retry baseline)."""
+    if policy == "none":
+        return None
+    if policy == "retransmit":
+        return RetrySpec()
+    if policy == "redraw":
+        return RetrySpec(mode="redraw")
+    if policy == "push_only":
+        return RetrySpec(budget=2, fallback="push_only")
+    raise ConfigurationError(
+        f"unknown retry policy {policy!r}; expected one of "
+        f"{MESSAGE_FAULT_POLICIES}"
+    )
+
+
+@dataclass(frozen=True)
+class MessageFaultSweep:
+    """The degradation-figure sweep: convergence factor and attributed
+    mass drift vs loss rate × direction × retry policy.
+
+    Every cell runs a plain AVG workload (normal(10, 4) initial values
+    on the complete overlay) under a
+    :class:`~repro.kernel.messages.MessageFaultSpec` that loses the
+    cell's direction (request or reply) at the cell's rate, replicated
+    over ``runs`` independent seed streams. A
+    :class:`~repro.kernel.invariants.MassConservationMonitor` rides
+    along, so the reported drift is the *attributed* fault drift —
+    partials + duplicates offset by repairs — not a noisy end-state
+    difference. Zero-rate cells run once per direction (policy
+    ``"none"``): with the loss coins never flipped, every policy is
+    trajectory-identical there.
+    """
+
+    n: int = 100_000
+    cycles: int = 40
+    runs: int = 5
+    loss_rates: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2)
+    directions: Tuple[str, ...] = MESSAGE_FAULT_DIRECTIONS
+    policies: Tuple[str, ...] = MESSAGE_FAULT_POLICIES
+    duplication: float = 0.0
+    backend: str = "auto"
+    seed: SeedLike = 2004
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"n must be >= 2, got {self.n}")
+        if self.cycles < 2:
+            raise ConfigurationError(
+                f"cycles must be >= 2 for a convergence factor, got "
+                f"{self.cycles}"
+            )
+        if self.runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {self.runs}")
+        for name in ("loss_rates", "directions", "policies"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        for rate in self.loss_rates:
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"loss rates must be in [0, 1), got {rate}"
+                )
+        for direction in self.directions:
+            if direction not in MESSAGE_FAULT_DIRECTIONS:
+                raise ConfigurationError(
+                    f"unknown loss direction {direction!r}; expected one "
+                    f"of {MESSAGE_FAULT_DIRECTIONS}"
+                )
+        for policy in self.policies:
+            retry_for_policy(policy)  # validate eagerly
+        if not 0.0 <= self.duplication < 1.0:
+            raise ConfigurationError(
+                f"duplication must be in [0, 1), got {self.duplication}"
+            )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "MessageFaultSweep":
+        """Build a sweep from a declarative config mapping; unknown
+        keys fail loudly."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(mapping) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown message-fault-sweep keys: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(mapping))
+
+    def cells(self) -> List[Dict[str, Any]]:
+        """The cell matrix, in execution order. Rate-0 cells collapse
+        onto the ``"none"`` policy (all policies coincide there)."""
+        matrix: List[Dict[str, Any]] = []
+        for direction in self.directions:
+            for policy in self.policies:
+                for rate in self.loss_rates:
+                    if rate == 0.0 and policy != "none":
+                        continue
+                    matrix.append({
+                        "direction": direction,
+                        "policy": policy,
+                        "loss_rate": rate,
+                    })
+        return matrix
+
+
+def _convergence_factor(variances: np.ndarray) -> float:
+    """Geometric per-cycle variance reduction rate over the longest
+    prefix where the variance stays positive (late cycles underflow to
+    exactly 0.0 on converged runs)."""
+    variances = np.asarray(variances, dtype=np.float64)
+    positive = np.flatnonzero(variances > 0.0)
+    if len(positive) < 2 or positive[0] != 0:
+        return float("nan")
+    last = int(positive[-1])
+    return float((variances[last] / variances[0]) ** (1.0 / last))
+
+
+def _run_fault_cell_once(
+    sweep: MessageFaultSweep,
+    cell: Mapping[str, Any],
+    seed: SeedLike,
+    values: np.ndarray,
+) -> Dict[str, float]:
+    """One replication of one degradation cell."""
+    rate = cell["loss_rate"]
+    spec = MessageFaultSpec(
+        request_loss=rate if cell["direction"] == "request" else 0.0,
+        reply_loss=rate if cell["direction"] == "reply" else 0.0,
+        duplication=sweep.duplication,
+    )
+    scenario = Scenario(
+        CompleteTopology(sweep.n),
+        values,
+        message_faults=spec,
+        retry=retry_for_policy(cell["policy"]),
+        seed=seed,
+        backend=sweep.backend,
+    )
+    engine = GossipEngine(scenario)
+    monitor = engine.register_monitor(MassConservationMonitor())
+    try:
+        result = engine.run(sweep.cycles, record="cycle")
+        estimate_error = abs(engine.mean() - float(values.mean()))
+        stats = dict(engine.message_fault_stats)
+        pending = engine.pending_retry_count
+    finally:
+        engine.close()
+    report = monitor.summary()
+    return {
+        "convergence_factor": _convergence_factor(result.variance_array()),
+        "drift_per_node": abs(monitor.fault_drift) / sweep.n,
+        "estimate_error": float(estimate_error),
+        "max_residual": float(report["max_residual"]),
+        "partials": float(stats.get("partials", 0)),
+        "repairs": float(stats.get("repairs", 0)),
+        "retries": float(stats.get("retries", 0)),
+        "giveups": float(stats.get("giveups", 0)),
+        "pending_final": float(pending),
+    }
+
+
+def run_message_fault_sweep(sweep: MessageFaultSweep) -> Dict[str, Any]:
+    """Execute the degradation matrix and aggregate across replications.
+
+    Each row carries the replication mean of the convergence factor,
+    the per-node attributed mass drift and the end-state estimate
+    error, plus 95 % acceptance bands (normal-approximation half
+    widths) — the statistical bands the degradation figure draws as
+    whiskers.
+    """
+    values = make_rng(_fold_seed(("message-values", sweep.seed))).normal(
+        10.0, 4.0, sweep.n
+    )
+    rows: List[Dict[str, Any]] = []
+    for cell in sweep.cells():
+        cell_seed = (
+            "messages", sweep.seed, cell["direction"], cell["policy"],
+            cell["loss_rate"],
+        )
+        outcomes = [
+            _run_fault_cell_once(sweep, cell, run_rng, values)
+            for run_rng in spawn_streams(_fold_seed(cell_seed), sweep.runs)
+        ]
+        row: Dict[str, Any] = dict(cell)
+        row["runs"] = sweep.runs
+        for metric in ("convergence_factor", "drift_per_node",
+                       "estimate_error"):
+            samples = np.asarray(
+                [outcome[metric] for outcome in outcomes], dtype=np.float64
+            )
+            row[metric] = float(np.nanmean(samples))
+            spread = (
+                float(np.nanstd(samples, ddof=1)) if len(samples) > 1 else 0.0
+            )
+            row[f"{metric}_band"] = float(
+                1.96 * spread / np.sqrt(max(len(samples), 1))
+            )
+        for counter in ("partials", "repairs", "retries", "giveups",
+                        "pending_final", "max_residual"):
+            row[counter] = float(
+                np.mean([outcome[counter] for outcome in outcomes])
+            )
+        rows.append(row)
+    return {
+        "n": sweep.n,
+        "cycles": sweep.cycles,
+        "runs": sweep.runs,
+        "duplication": sweep.duplication,
+        "backend": sweep.backend,
+        "loss_rates": list(sweep.loss_rates),
+        "directions": list(sweep.directions),
+        "policies": list(sweep.policies),
+        "rows": rows,
+    }
+
+
+def _fault_row(
+    rows: List[Dict[str, Any]], direction: str, policy: str, rate: float
+) -> Optional[Dict[str, Any]]:
+    """The matching sweep row; rate-0 lookups fall through to the
+    shared ``"none"`` baseline cell."""
+    for row in rows:
+        if (
+            row["direction"] == direction
+            and row["loss_rate"] == rate
+            and (row["policy"] == policy
+                 or (rate == 0.0 and row["policy"] == "none"))
+        ):
+            return row
+    return None
+
+
+def render_message_fault_svg(
+    payload: Mapping[str, Any], *, width: int = 960, height: int = 560
+) -> str:
+    """The degradation figure as a dependency-free SVG string: one
+    column per loss direction; the top row plots per-node attributed
+    mass drift (log scale), the bottom row the convergence factor
+    (linear), both vs loss rate with one line per retry policy and
+    95 % acceptance-band whiskers."""
+    directions = list(payload["directions"])
+    policies = list(payload["policies"])
+    rows = payload["rows"]
+    rates = sorted({row["loss_rate"] for row in rows})
+    panel_width = width // max(len(directions), 1)
+    panel_height = height // 2
+    margin = 56
+    floor = 1e-9
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if not rates or not directions:
+        parts.append("</svg>")
+        return "\n".join(parts)
+    log_low, log_high = np.log10(floor), 0.0
+
+    def x_at(panel: int, rate: float) -> float:
+        span = max(rates[-1] - rates[0], 1e-9)
+        inner = panel_width - margin - 16
+        return panel * panel_width + margin + (
+            (rate - rates[0]) / span
+        ) * inner
+
+    def y_drift(top: int, drift: float) -> float:
+        level = np.clip(np.log10(max(drift, floor)), log_low, log_high)
+        inner = panel_height - margin - 28
+        return top + 28 + (log_high - level) / (log_high - log_low) * inner
+
+    def y_factor(top: int, factor: float) -> float:
+        level = np.clip(factor, 0.0, 1.0)
+        inner = panel_height - margin - 28
+        return top + 28 + (1.0 - level) * inner
+
+    panel_rows = [
+        ("mass drift / node (log)", "drift_per_node", y_drift),
+        ("convergence factor", "convergence_factor", y_factor),
+    ]
+    for panel, direction in enumerate(directions):
+        left = panel * panel_width
+        for row_index, (title, metric, y_at) in enumerate(panel_rows):
+            top = row_index * panel_height
+            parts.append(
+                f'<text x="{left + margin}" y="{top + 16}" '
+                f'font-weight="bold">{direction}-loss — {title}, '
+                f'N={payload["n"]}</text>'
+            )
+            parts.append(
+                f'<line x1="{left + margin}" '
+                f'y1="{top + panel_height - margin}" '
+                f'x2="{left + panel_width - 16}" '
+                f'y2="{top + panel_height - margin}" stroke="black"/>'
+            )
+            parts.append(
+                f'<line x1="{left + margin}" y1="{top + 28}" '
+                f'x2="{left + margin}" '
+                f'y2="{top + panel_height - margin}" stroke="black"/>'
+            )
+            for rate in rates:
+                x = x_at(panel, rate)
+                parts.append(
+                    f'<text x="{x - 10}" '
+                    f'y="{top + panel_height - margin + 14}">'
+                    f'{rate:g}</text>'
+                )
+            if metric == "drift_per_node":
+                for decade in range(int(log_low), 1, 2):
+                    y = y_at(top, 10.0 ** decade)
+                    parts.append(
+                        f'<text x="{left + 6}" y="{y + 4}">1e{decade}</text>'
+                    )
+            else:
+                for tick in (0.0, 0.5, 1.0):
+                    y = y_at(top, tick)
+                    parts.append(
+                        f'<text x="{left + 12}" y="{y + 4}">{tick:g}</text>'
+                    )
+            for policy in policies:
+                color = _POLICY_COLORS.get(policy, "#34495e")
+                points = []
+                for rate in rates:
+                    row = _fault_row(rows, direction, policy, rate)
+                    if row is None:
+                        continue
+                    x = x_at(panel, rate)
+                    y = y_at(top, row[metric])
+                    points.append((x, y))
+                    band = row.get(f"{metric}_band", 0.0)
+                    if band > 0.0:
+                        y_lo = y_at(top, max(row[metric] - band, 0.0))
+                        y_hi = y_at(top, row[metric] + band)
+                        parts.append(
+                            f'<line x1="{x:.1f}" y1="{y_lo:.1f}" '
+                            f'x2="{x:.1f}" y2="{y_hi:.1f}" '
+                            f'stroke="{color}" stroke-width="1"/>'
+                        )
+                if len(points) < 2:
+                    continue
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+                parts.append(
+                    f'<polyline points="{path}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.6"/>'
+                )
+            legend_y = top + 30
+            for policy in policies:
+                color = _POLICY_COLORS.get(policy, "#34495e")
+                parts.append(
+                    f'<rect x="{left + panel_width - 116}" y="{legend_y}" '
+                    f'width="10" height="10" fill="{color}"/>'
+                )
+                parts.append(
+                    f'<text x="{left + panel_width - 102}" '
+                    f'y="{legend_y + 9}">{policy}</text>'
+                )
+                legend_y += 14
+            parts.append(
+                f'<text x="{left + margin}" '
+                f'y="{top + panel_height - 6}">loss rate '
+                f'(whiskers = 95% band)</text>'
+            )
     parts.append("</svg>")
     return "\n".join(parts)

@@ -24,6 +24,8 @@ Usage::
                                           # robustness report at paper scale
     python -m repro robustness --config sweep.json
                                           # declarative scenario matrix
+    python -m repro robustness --messages --loss-rates 0,0.1 --retry none,retransmit
+                                          # message-fault degradation sweep
 
 Each subcommand prints the same rows the corresponding benchmark
 archives, with small default sizes so it completes in seconds.
@@ -40,10 +42,13 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import (
+    MessageFaultSweep,
     RobustnessSweep,
     Table,
+    render_message_fault_svg,
     render_robustness_svg,
     replicate,
+    run_message_fault_sweep,
     run_robustness_sweep,
 )
 from .avg import (
@@ -378,9 +383,73 @@ def _float_list(value: str) -> tuple:
     return tuple(float(part) for part in value.split(","))
 
 
+def _cmd_messages(args: argparse.Namespace) -> int:
+    """The message-fault degradation sweep: convergence factor and
+    attributed mass drift vs loss rate × direction × retry policy."""
+    if args.config:
+        mapping = _load_sweep_config(args.config)
+    else:
+        # quick-look defaults: the full degradation grid in seconds
+        mapping = {"n": 2000, "runs": 2, "cycles": 25,
+                   "loss_rates": (0.0, 0.05, 0.1)}
+    sweep = MessageFaultSweep.from_mapping(mapping)
+    overrides = {
+        key: value
+        for key, value in (
+            ("n", args.n),
+            ("runs", args.runs),
+            ("cycles", args.cycles),
+            ("seed", args.seed),
+            ("loss_rates", args.loss_rates),
+            ("duplication", args.duplication),
+            (
+                "directions",
+                tuple(args.directions.split(",")) if args.directions
+                else None,
+            ),
+            ("policies", tuple(args.retry.split(",")) if args.retry else None),
+        )
+        if value is not None
+    }
+    if args.backend != "auto":
+        overrides["backend"] = args.backend
+    if overrides:
+        import dataclasses
+
+        sweep = dataclasses.replace(sweep, **overrides)
+    start = time.perf_counter()
+    payload = run_message_fault_sweep(sweep)
+    elapsed = time.perf_counter() - start
+    table = Table(
+        headers=[
+            "direction", "policy", "loss", "conv.factor",
+            "drift/node", "±band", "repairs", "giveups",
+        ],
+        title=(
+            f"Message-fault degradation: N={sweep.n}, {sweep.cycles} "
+            f"cycles, {sweep.runs} runs/cell ({elapsed:.1f}s)"
+        ),
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            row["direction"], row["policy"], row["loss_rate"],
+            row["convergence_factor"], row["drift_per_node"],
+            row["drift_per_node_band"], row["repairs"], row["giveups"],
+        )
+    print(table.render())
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(render_message_fault_svg(payload))
+        print(f"figure written to {args.svg}")
+    return 0
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     """The declarative scenario-matrix sweep: estimation error vs
-    adversary fraction × churn rate × topology."""
+    adversary fraction × churn rate × topology. ``--messages`` switches
+    to the message-fault degradation sweep."""
+    if args.messages:
+        return _cmd_messages(args)
     if args.config:
         mapping = _load_sweep_config(args.config)
     else:
@@ -587,6 +656,29 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument(
         "--topologies", default=None, metavar="T,T,...",
         help="overlays for static cells (default complete,regular20)",
+    )
+    robustness.add_argument(
+        "--messages", action="store_true",
+        help="run the message-fault degradation sweep instead "
+             "(convergence factor + mass drift vs loss rate × retry "
+             "policy)",
+    )
+    robustness.add_argument(
+        "--loss-rates", type=_float_list, default=None, metavar="P,P,...",
+        help="[--messages] loss rates (default 0,0.02,0.05,0.1,0.2)",
+    )
+    robustness.add_argument(
+        "--retry", default=None, metavar="POLICY,POLICY,...",
+        help="[--messages] retry policies "
+             "(default none,retransmit,redraw,push_only)",
+    )
+    robustness.add_argument(
+        "--directions", default=None, metavar="D,D,...",
+        help="[--messages] loss directions (default request,reply)",
+    )
+    robustness.add_argument(
+        "--duplication", type=float, default=None,
+        help="[--messages] per-reply duplication probability (default 0)",
     )
     robustness.add_argument(
         "--svg", default=None, metavar="PATH",

@@ -111,6 +111,21 @@ class ShardPoolError(SimulationError):
         )
 
 
+class InvariantViolation(SimulationError):
+    """A registered invariant monitor found a violated run invariant.
+
+    Raised by :class:`~repro.kernel.engine.GossipEngine` at the end of
+    the offending cycle when the violated monitor was registered in
+    ``strict`` mode; carries the structured ``findings`` (a tuple of
+    :class:`~repro.kernel.invariants.InvariantFinding`) so callers can
+    attribute the failure without re-parsing the message.
+    """
+
+    def __init__(self, message, findings=()):
+        self.findings = tuple(findings)
+        super().__init__(message)
+
+
 class CheckpointError(SimulationError):
     """A checkpoint could not be written, read or validated.
 

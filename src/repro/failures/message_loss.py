@@ -1,43 +1,58 @@
-"""Message-loss schedules for cycle-driven experiments.
+"""Deprecated home of the cycle-level loss schedules.
 
-The event-driven transport has its own per-message
-:class:`~repro.simulator.transport.LossModel`; this module provides the
-cycle-level counterpart: a loss probability as a function of the cycle
-number, allowing time-varying loss (e.g. a lossy burst) in the A2
-ablation.
+The schedule factories moved to :mod:`repro.kernel.messages`, where
+they serve both the legacy symmetric :attr:`Scenario.loss_schedule`
+and the asymmetric :class:`~repro.kernel.messages.MessageFaultSpec`
+(independent request/reply schedules). This module remains importable
+and behaves as before, but each symbol warns once per process on first
+use; import from ``repro.kernel`` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
-from ..errors import ConfigurationError
-
 #: a schedule maps a cycle number to that cycle's loss probability
+#: (the type alias is harmless to keep here; no warning for it)
 LossSchedule = Callable[[int], float]
+
+_warned: set = set()
+
+
+def _warn_deprecated(name: str) -> None:
+    """Emit a single :class:`DeprecationWarning` per symbol per
+    process."""
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"repro.failures.{name} is deprecated; use "
+        f"repro.kernel.messages.{name} (re-exported as "
+        f"repro.kernel.{name}) instead. The schedule factories moved "
+        "to the kernel message-fault layer and this shell will be "
+        "removed in a future release.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def constant_loss(p: float) -> LossSchedule:
-    """A schedule that always returns ``p``."""
-    if not 0.0 <= p <= 1.0:
-        raise ConfigurationError(f"loss probability must be in [0, 1], got {p}")
+    """Deprecated shell over
+    :func:`repro.kernel.messages.constant_loss`."""
+    _warn_deprecated("constant_loss")
+    # lazy import: repro.failures is imported by repro.kernel.scenario
+    # (via failures.churn), so a module-level kernel import would cycle
+    from ..kernel.messages import constant_loss as _constant_loss
 
-    def schedule(cycle: int) -> float:
-        return p
-
-    return schedule
+    return _constant_loss(p)
 
 
 def burst_loss(p_background: float, p_burst: float, burst_start: int,
                burst_end: int) -> LossSchedule:
-    """Background loss with a heavier burst during [burst_start, burst_end)."""
-    for name, value in (("p_background", p_background), ("p_burst", p_burst)):
-        if not 0.0 <= value <= 1.0:
-            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
-    if burst_start > burst_end:
-        raise ConfigurationError("burst_start must not exceed burst_end")
+    """Deprecated shell over
+    :func:`repro.kernel.messages.burst_loss`."""
+    _warn_deprecated("burst_loss")
+    from ..kernel.messages import burst_loss as _burst_loss
 
-    def schedule(cycle: int) -> float:
-        return p_burst if burst_start <= cycle < burst_end else p_background
-
-    return schedule
+    return _burst_loss(p_background, p_burst, burst_start, burst_end)

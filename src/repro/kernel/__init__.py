@@ -40,6 +40,25 @@ from .adversary import (
     ADVERSARY_KINDS,
     AdversarySpec,
 )
+from .messages import (
+    RETRY_FALLBACKS,
+    RETRY_MODES,
+    LossSchedule,
+    MessageFaultSpec,
+    RetrySpec,
+    burst_loss,
+    constant_loss,
+)
+from .invariants import (
+    FAULT_LEDGER_KEYS,
+    InvariantFinding,
+    InvariantMonitor,
+    InvariantReport,
+    MassConservationMonitor,
+    StructureMonitor,
+    VarianceMonotonicityMonitor,
+    standard_monitors,
+)
 from .robust import (
     DEFAULT_TRIM,
     ROBUST_REDUCTIONS,
@@ -101,6 +120,21 @@ __all__ = [
     "PoolHealthReport",
     "ADVERSARY_KINDS",
     "AdversarySpec",
+    "RETRY_FALLBACKS",
+    "RETRY_MODES",
+    "LossSchedule",
+    "MessageFaultSpec",
+    "RetrySpec",
+    "burst_loss",
+    "constant_loss",
+    "FAULT_LEDGER_KEYS",
+    "InvariantFinding",
+    "InvariantMonitor",
+    "InvariantReport",
+    "MassConservationMonitor",
+    "StructureMonitor",
+    "VarianceMonotonicityMonitor",
+    "standard_monitors",
     "AUTO_VECTORIZE_THRESHOLD",
     "DEFAULT_TRIM",
     "ROBUST_REDUCTIONS",

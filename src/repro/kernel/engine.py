@@ -59,13 +59,20 @@ land in :attr:`KernelRunResult.phi_counts`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import CheckpointError, ConfigurationError, SimulationError
+from ..core.aggregates import MeanAggregate
+from ..errors import (
+    CheckpointError,
+    ConfigurationError,
+    InvariantViolation,
+    SimulationError,
+)
 from ..rng import make_rng
 from .backends import ExecutionBackend, make_backend
 from .checkpoint import (
@@ -76,6 +83,7 @@ from .checkpoint import (
     unpickle_payload,
     write_checkpoint,
 )
+from .invariants import InvariantFinding, InvariantMonitor, InvariantReport
 from .lifecycle import EpochRestart, EpochView
 from .membership import PartnerProvider, build_provider
 from .pairs import PairDraw
@@ -263,6 +271,27 @@ class GossipEngine:
             isolated = scenario.topology.isolated_mask()
             if isolated is not None and isolated.any():
                 self._isolated = isolated
+        # -- message-fault state (MessageFaultSpec / RetrySpec) ---------
+        # like the adversary, message faults are applied entirely by
+        # the engine: fault coins come from the engine RNG, partial
+        # exchanges / duplicate deliveries / retransmission repairs are
+        # engine-side matrix writes after the backend batch — backends
+        # never see the spec, so bitwise equivalence is preserved
+        self._faults = scenario.message_faults
+        self._retry = scenario.retry
+        self._mf_partner: Optional[np.ndarray] = None
+        self._mf_kind: Optional[np.ndarray] = None
+        self._mf_attempt: Optional[np.ndarray] = None
+        self._mf_due: Optional[np.ndarray] = None
+        self._mf_cache: Optional[np.ndarray] = None
+        self._mf_sent: Optional[np.ndarray] = None
+        self._mf_push_only: Optional[np.ndarray] = None
+        if self._retry is not None:
+            self._alloc_retry_state(scenario.n, len(self._names))
+        self._mf_stats: Dict[str, int] = {
+            "partials": 0, "duplicates": 0, "repairs": 0,
+            "retries": 0, "giveups": 0,
+        }
         # the partner-draw layer: bound after the adversary draw so the
         # oracle provider (which consumes no RNG here) reproduces the
         # historical construction-time RNG stream exactly, and any
@@ -313,8 +342,36 @@ class GossipEngine:
             and scenario.loss_probability == 0.0
             and scenario.partition is None
             and not self._adversary_partition
+            and scenario.message_faults is None
         )
+        # -- invariant monitors -----------------------------------------
+        # observed at the end of every cycle; the per-cycle mass ledger
+        # records every deliberate mass-moving engine event with its
+        # exact per-column delta so the mass monitor can attribute
+        # drift. REPRO_STRICT_INVARIANTS=1 arms the standard set in
+        # strict mode on every engine (the CI certification hook).
+        self._monitor_entries: List[Tuple[InvariantMonitor, bool]] = []
+        self._ledger: Dict[str, np.ndarray] = {}
+        self._ledger_rebase = False
+        self._invariant_findings: List[InvariantFinding] = []
+        if os.environ.get("REPRO_STRICT_INVARIANTS") == "1":
+            self.arm_standard_monitors(strict=True)
         self.cycle = 0
+
+    def _alloc_retry_state(self, capacity: int, k: int) -> None:
+        """(Re-)allocate the pending-exchange tables of the retry
+        protocol: per-slot partner, phase (1 = awaiting any contact,
+        2 = partner holds a cached combined value), attempt counter,
+        next-retry cycle, the cached reply row plus the request row it
+        answered (a delivered retransmission repairs mass from these
+        two), and the permanent push-only fallback flag."""
+        self._mf_partner = np.full(capacity, -1, dtype=np.int64)
+        self._mf_kind = np.zeros(capacity, dtype=np.int8)
+        self._mf_attempt = np.zeros(capacity, dtype=np.int64)
+        self._mf_due = np.zeros(capacity, dtype=np.int64)
+        self._mf_cache = np.zeros((capacity, k), dtype=np.float64)
+        self._mf_sent = np.zeros((capacity, k), dtype=np.float64)
+        self._mf_push_only = np.zeros(capacity, dtype=bool)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -474,6 +531,105 @@ class GossipEngine:
         """Mean of participants' approximations."""
         return float(self.alive_column(name).mean())
 
+    @property
+    def aggregate_functions(self) -> Tuple:
+        """AGGREGATE functions in column order (tracks epoch rebuilds)."""
+        return self._functions
+
+    def participant_sums(self) -> np.ndarray:
+        """Per-instance sums over participating nodes — the total
+        system mass the §3 conservation invariant quantifies over."""
+        self._backend.sync()
+        if self._participant.all():
+            return self._matrix.sum(axis=0)
+        return self._matrix[self._participant].sum(axis=0)
+
+    def structure_snapshot(self) -> Dict[str, Any]:
+        """The lifecycle bookkeeping the structure monitor audits."""
+        return {
+            "alive": self._alive,
+            "participant": self._participant,
+            "free_slots": tuple(self._free_slots),
+            "top": self._top,
+            "capacity": self.capacity,
+            "dynamic": bool(self._dynamic),
+        }
+
+    @property
+    def message_fault_stats(self) -> Dict[str, int]:
+        """Cumulative message-fault event counts: partial exchanges
+        executed, duplicate deliveries, exact retransmission repairs,
+        retry attempts, and budget-exhausted give-ups (copy)."""
+        return dict(self._mf_stats)
+
+    @property
+    def pending_retry_count(self) -> int:
+        """Nodes currently blocked on an outstanding exchange."""
+        if self._mf_partner is None:
+            return 0
+        return int(np.count_nonzero(self._mf_partner >= 0))
+
+    # -- invariant monitors ----------------------------------------------
+
+    def register_monitor(
+        self, monitor: InvariantMonitor, *, strict: bool = False
+    ) -> InvariantMonitor:
+        """Register an invariant monitor, observed at the end of every
+        cycle. With ``strict=True`` any *violation* finding raises
+        :class:`~repro.errors.InvariantViolation` at the offending
+        cycle. Returns the monitor for chained inspection."""
+        self._monitor_entries.append((monitor, bool(strict)))
+        return monitor
+
+    def arm_standard_monitors(self, *, strict: bool = False) -> None:
+        """Register fresh instances of the standard monitor set (mass
+        conservation, variance monotonicity, structure consistency)."""
+        from .invariants import standard_monitors
+
+        for monitor in standard_monitors():
+            self.register_monitor(monitor, strict=strict)
+
+    def invariant_report(self) -> InvariantReport:
+        """Every finding so far plus per-monitor summaries."""
+        return InvariantReport(
+            findings=tuple(self._invariant_findings),
+            summaries={
+                monitor.name: monitor.summary()
+                for monitor, _ in self._monitor_entries
+            },
+        )
+
+    def _ledger_add(self, key: str, delta: np.ndarray) -> None:
+        """Attribute one mass-moving event: ``delta`` is the exact
+        per-column change of participant mass it caused."""
+        delta = np.asarray(delta, dtype=np.float64)
+        if key in self._ledger:
+            self._ledger[key] = self._ledger[key] + delta
+        else:
+            self._ledger[key] = delta.copy()
+
+    def _observe_invariants(self, executed_cycle: int) -> None:
+        self._backend.sync()
+        ledger = self._ledger
+        rebase = self._ledger_rebase
+        self._ledger = {}
+        self._ledger_rebase = False
+        strict_violations: List[InvariantFinding] = []
+        for monitor, strict in self._monitor_entries:
+            for finding in monitor.observe(
+                self, executed_cycle, ledger, rebase
+            ):
+                self._invariant_findings.append(finding)
+                if strict and finding.is_violation:
+                    strict_violations.append(finding)
+        if strict_violations:
+            first = strict_violations[0]
+            raise InvariantViolation(
+                f"invariant {first.monitor!r} violated at cycle "
+                f"{first.cycle}: {first.message}",
+                findings=strict_violations,
+            )
+
     # -- failure injection -----------------------------------------------
 
     def crash(self, node_ids: Sequence[int]) -> None:
@@ -484,13 +640,29 @@ class GossipEngine:
             if not 0 <= node_id < self.capacity:
                 raise ConfigurationError(f"node id {node_id} out of range")
             if self._alive[node_id]:
+                if self._monitor_entries and self._participant[node_id]:
+                    self._backend.sync()
+                    self._ledger_add("crash", -self._matrix[node_id])
                 self._alive[node_id] = False
                 self._participant[node_id] = False
                 self._mask_version += 1
                 if self._dynamic:
                     self._free_slots.append(int(node_id))
+        if self._retry is not None and len(node_ids):
+            # a crashed node's outstanding exchange dies with it; a
+            # recycled slot must not inherit pending/push-only state
+            self._mf_clear_slots(np.asarray(list(node_ids), dtype=np.int64))
         if self._mask_version != version:
             self._provider.on_mask_change(self._mask_version)
+
+    def _mf_clear_slots(self, slots: np.ndarray) -> None:
+        """Drop all retry-protocol state of ``slots`` (departed or
+        freshly admitted nodes)."""
+        self._mf_partner[slots] = -1
+        self._mf_kind[slots] = 0
+        self._mf_attempt[slots] = 0
+        self._mf_due[slots] = 0
+        self._mf_push_only[slots] = False
 
     # -- adversary -------------------------------------------------------
 
@@ -511,6 +683,10 @@ class GossipEngine:
         # in-place matrix write — the pipelined sharded backend must
         # drain any in-flight cycle first
         self._backend.sync()
+        if self._monitor_entries:
+            k = self._matrix.shape[1]
+            injected = np.full(k, spec.value * len(rows))
+            self._ledger_add("inject", injected - self._matrix[rows].sum(axis=0))
         self._matrix[rows] = spec.value
 
     # -- churn -----------------------------------------------------------
@@ -527,6 +703,16 @@ class GossipEngine:
             alive_ids = np.nonzero(self._alive)[0]
             picks = self._rng.choice(len(alive_ids), size=leaves, replace=False)
             leavers = alive_ids[picks]
+            if self._monitor_entries:
+                departing = self._participant[leavers]
+                if departing.any():
+                    self._backend.sync()
+                    self._ledger_add(
+                        "leave",
+                        -self._matrix[leavers[departing]].sum(axis=0),
+                    )
+            if self._retry is not None:
+                self._mf_clear_slots(leavers)
             self._alive[leavers] = False
             self._participant[leavers] = False
             self._mask_version += 1
@@ -563,6 +749,31 @@ class GossipEngine:
             # departed node's flag (the attacker holds the position)
             self._adv_mask = np.concatenate(
                 [self._adv_mask, np.zeros(grow, dtype=bool)]
+            )
+        if self._mf_partner is not None:
+            # fresh capacity starts with no outstanding exchanges
+            self._mf_partner = np.concatenate(
+                [self._mf_partner, np.full(grow, -1, dtype=np.int64)]
+            )
+            self._mf_kind = np.concatenate(
+                [self._mf_kind, np.zeros(grow, dtype=np.int8)]
+            )
+            self._mf_attempt = np.concatenate(
+                [self._mf_attempt, np.zeros(grow, dtype=np.int64)]
+            )
+            self._mf_due = np.concatenate(
+                [self._mf_due, np.zeros(grow, dtype=np.int64)]
+            )
+            self._mf_cache = np.vstack(
+                [self._mf_cache,
+                 np.zeros((grow, self._mf_cache.shape[1]))]
+            )
+            self._mf_sent = np.vstack(
+                [self._mf_sent,
+                 np.zeros((grow, self._mf_sent.shape[1]))]
+            )
+            self._mf_push_only = np.concatenate(
+                [self._mf_push_only, np.zeros(grow, dtype=bool)]
             )
         # provider-held per-node state (newscast view rows) grows with
         # the same geometric schedule
@@ -625,6 +836,14 @@ class GossipEngine:
         self._matrix[seed_slots] = seed_rows
         if self._attributes is not None:
             self._attributes[seed_slots] = seed_rows
+        if self._retry is not None and len(slots):
+            # a joiner starts with a clean protocol state even when it
+            # recycles the slot of a node that left mid-exchange
+            self._mf_clear_slots(slots)
+        if self._monitor_entries and self._epochs is None and len(slots):
+            # under plain churn joiners participate immediately: their
+            # (possibly recycled) rows enter the participant mass
+            self._ledger_add("join", self._matrix[slots].sum(axis=0))
         # membership hooks last, after the joiners' values landed: the
         # provider may draw bootstrap randomness (newscast contact
         # lists) — a fixed point in the stream either way, and a no-op
@@ -640,6 +859,14 @@ class GossipEngine:
         participant and its row is re-seeded in place."""
         # rows are re-seeded in place — drain in-flight cycles first
         self._backend.sync()
+        if self._monitor_entries:
+            # a restart deliberately replaces the participant mass; the
+            # mass monitor re-anchors instead of attributing deltas
+            self._ledger_rebase = True
+        if self._retry is not None:
+            # a restart is a full protocol restart: outstanding
+            # exchanges and push-only fallbacks are forgotten
+            self._alloc_retry_state(self.capacity, self._matrix.shape[1])
         self.epoch += 1
         np.copyto(self._participant, self._alive)
         self._mask_version += 1
@@ -682,6 +909,9 @@ class GossipEngine:
             self._matrix = self._backend.allocate_matrix(
                 self.capacity, k_new
             )
+            if self._retry is not None:
+                # cached combined rows are per-column; track the new k
+                self._alloc_retry_state(self.capacity, k_new)
         self._matrix[participants] = rows
 
     def _finalize_epoch(self, end_cycle: int) -> None:
@@ -756,6 +986,15 @@ class GossipEngine:
             arrays["views"] = views
         if self._phi_log:
             arrays["phi_log"] = np.stack(self._phi_log)
+        if self._retry is not None:
+            arrays["mf_partner"] = self._mf_partner
+            arrays["mf_kind"] = self._mf_kind
+            arrays["mf_attempt"] = self._mf_attempt
+            arrays["mf_due"] = self._mf_due
+            arrays["mf_cache"] = self._mf_cache
+            arrays["mf_sent"] = self._mf_sent
+            arrays["mf_push_only"] = self._mf_push_only
+            arrays["mf_stats"] = pickle_payload(self._mf_stats)
         manifest = {
             "cycle": int(self.cycle),
             "n": int(self.scenario.n),
@@ -851,6 +1090,34 @@ class GossipEngine:
         self._provider.load_state(
             arrays.get("views")
         )
+        if self._retry is not None:
+            if "mf_partner" not in arrays:
+                raise CheckpointError(
+                    "checkpoint is missing the pending-exchange tables "
+                    "this scenario's RetrySpec requires"
+                )
+            self._mf_partner = np.ascontiguousarray(
+                arrays["mf_partner"], dtype=np.int64
+            )
+            self._mf_kind = np.ascontiguousarray(
+                arrays["mf_kind"], dtype=np.int8
+            )
+            self._mf_attempt = np.ascontiguousarray(
+                arrays["mf_attempt"], dtype=np.int64
+            )
+            self._mf_due = np.ascontiguousarray(
+                arrays["mf_due"], dtype=np.int64
+            )
+            self._mf_cache = np.ascontiguousarray(
+                arrays["mf_cache"], dtype=np.float64
+            )
+            self._mf_sent = np.ascontiguousarray(
+                arrays["mf_sent"], dtype=np.float64
+            )
+            self._mf_push_only = np.ascontiguousarray(
+                arrays["mf_push_only"], dtype=bool
+            )
+            self._mf_stats = dict(unpickle_payload(arrays["mf_stats"]))
         self._free_slots = [int(slot) for slot in arrays["free_slots"]]
         self._phi_log = (
             [row.copy() for row in arrays["phi_log"]]
@@ -929,7 +1196,39 @@ class GossipEngine:
 
     def run_cycle(self) -> int:
         """One synchronous cycle (every participant initiates once, in
-        slot order). Returns the number of successful exchanges."""
+        slot order). Returns the number of successful exchanges —
+        partial exchanges (a lost reply after the partner applied the
+        request) count, silently cancelled ones (a lost request) do
+        not. Registered invariant monitors observe the post-cycle
+        state; a strict monitor's violation raises
+        :class:`~repro.errors.InvariantViolation`."""
+        executed = self.cycle
+        count = self._run_cycle_inner()
+        if self._monitor_entries:
+            self._observe_invariants(executed)
+        return count
+
+    def _loss_coins(
+        self, count: int, p: float, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """The one loss-coin idiom every stochastic drop shares: a
+        boolean survival mask (``True`` = delivered) from one batched
+        uniform draw. ``p == 0`` consumes no RNG and returns all-True,
+        so inactive fault processes leave the stream untouched; every
+        caller draws ``rng.random(count)`` against the same threshold
+        rule, so coins can never diverge between the fused-mask path,
+        the fault path and the retry path."""
+        if p <= 0.0:
+            if out is None:
+                return np.ones(count, dtype=bool)
+            out[:] = True
+            return out
+        if out is None:
+            return self._rng.random(count) >= p
+        return np.greater_equal(self._rng.random(count), p, out=out)
+
+    def _run_cycle_inner(self) -> int:
+        """The cycle body (see :meth:`run_cycle`)."""
         if self._closed:
             # a closed engine's matrix is detached from its backend; a
             # sharded backend would silently respawn a pool and run on
@@ -954,6 +1253,15 @@ class GossipEngine:
             self._apply_churn()
         if self._adversary is not None:
             self._apply_adversary_state()
+        mf_blocked = None
+        if self._retry is not None:
+            # snapshot BEFORE retry processing: a node whose exchange
+            # resolves this cycle (repair or give-up) sits the cycle
+            # out — its retry already was its protocol action
+            blocked = (self._mf_partner >= 0) | self._mf_push_only
+            if blocked.any():
+                mf_blocked = blocked
+            self._process_retries()
         rng = self._rng
         plan = self._plan
         plan.ensure(self.capacity)
@@ -963,6 +1271,8 @@ class GossipEngine:
             # oracle provider uniformly (the paper's uniform overlay,
             # self-picks shifted), newscast from its partial views
             initiators = plan.initiators(self._participant, self._mask_version)
+            if mf_blocked is not None:
+                initiators = initiators[~mf_blocked[initiators]]
             count = len(initiators)
             if count < 2:
                 self.cycle += 1
@@ -974,17 +1284,14 @@ class GossipEngine:
             ok = plan.ok[:count]
             loss = scenario.loss_at(self.cycle)
             if provider.draws_valid_participants:
-                if loss > 0.0:
-                    np.greater_equal(rng.random(count), loss, out=ok)
-                else:
-                    ok[:] = True
+                self._loss_coins(count, loss, out=ok)
             else:
                 # view draws can land on departed or not-yet-restarted
                 # nodes — contacting one fails the exchange, exactly
                 # like contacting a crashed neighbor on a static overlay
                 np.take(self._participant, partners, out=ok)
                 if loss > 0.0:
-                    ok &= rng.random(count) >= loss
+                    ok &= self._loss_coins(count, loss)
             if self._adversary_partition and self._adversary.active_at(
                 self.cycle
             ):
@@ -994,6 +1301,8 @@ class GossipEngine:
             initiators = plan.initiators(
                 self._alive, self._mask_version, exclude=self._isolated
             )
+            if mf_blocked is not None:
+                initiators = initiators[~mf_blocked[initiators]]
             count = len(initiators)
             provider.begin_cycle(initiators, self._alive, rng)
             partners = provider.draw(
@@ -1033,7 +1342,7 @@ class GossipEngine:
             ok = plan.ok[:count]
             np.take(self._alive, partners, out=ok)
             if loss > 0.0:
-                ok &= rng.random(count) >= loss
+                ok &= self._loss_coins(count, loss)
             partition = scenario.partition
             if partition is not None and partition.active_at(self.cycle):
                 ok &= ~partition.blocks_array(self.cycle, initiators, partners)
@@ -1044,6 +1353,8 @@ class GossipEngine:
                 # honest/adversarial boundary fail
                 adv = self._adv_mask
                 ok &= ~(adv[initiators] ^ adv[partners])
+        if self._faults is not None:
+            return self._finish_cycle_with_faults(initiators, partners, ok)
         exch_i, exch_j = plan.compact(initiators, partners, ok)
         self._backend.apply_exchanges(
             self._matrix,
@@ -1055,6 +1366,378 @@ class GossipEngine:
         )
         self.cycle += 1
         return len(exch_i)
+
+    # -- message faults ---------------------------------------------------
+
+    def _finish_cycle_with_faults(
+        self,
+        initiators: np.ndarray,
+        partners: np.ndarray,
+        ok: np.ndarray,
+    ) -> int:
+        """Split this cycle's surviving exchanges by the message-fault
+        coins and finish the cycle.
+
+        ``ok`` is the legacy survival mask (dead partner, symmetric
+        loss, partitions) — the fault coins layer on top of it, in
+        fixed RNG order *request, reply, duplication* so trajectories
+        are reproducible across backends and retry configurations:
+
+        * ``delivered``: the request arrived at a partner willing to
+          serve it — the partner applies AGGREGATE and sends the reply,
+        * ``full = delivered & reply_ok``: the atomic exchange — goes
+          through the execution backend's batch like any other,
+        * ``partial = delivered & ~reply_ok``: the paper's one-sided
+          exchange — partner adopts the combined value, initiator keeps
+          its old one; applied engine-side after the batch,
+        * a *busy* partner (one with its own outstanding exchange — its
+          value is frozen) refuses with a NACK reply: the exchange
+          fails cleanly unless the NACK itself is lost (same reply
+          coin), in which case the initiator cannot tell it from a
+          lost request;
+        * with a :class:`~repro.kernel.messages.RetrySpec` every
+          initiator that heard *nothing* becomes pending — a partial's
+          initiator too, since a lost reply and a lost request look
+          identical from its side.
+
+        Returns full + partial exchange count (a partial did change
+        system state; a silently cancelled exchange did not).
+        """
+        faults = self._faults
+        retry = self._retry
+        cycle = self.cycle
+        count = len(initiators)
+        req_ok = self._loss_coins(count, faults.request_loss_at(cycle))
+        rep_ok = self._loss_coins(count, faults.reply_loss_at(cycle))
+        dup = ~self._loss_coins(count, faults.duplication_at(cycle))
+        delivered = ok & req_ok
+        nacked = None
+        if retry is not None:
+            busy = self._mf_partner[partners] >= 0
+            refused = delivered & busy
+            delivered &= ~busy
+            # a surviving NACK tells the initiator the exchange did not
+            # happen — a clean failure, not a timeout
+            nacked = refused & rep_ok
+        full = delivered & rep_ok
+        partial = delivered & ~rep_ok
+        dup &= delivered
+        payload = None
+        if dup.any() or partial.any():
+            # engine-side matrix writes ahead: drain in-flight work so
+            # reads see this cycle's true pre-state
+            self._backend.sync()
+        if dup.any():
+            # the duplicate carries the payload the initiator *sent* —
+            # its row before any of this cycle's exchanges applied
+            payload = self._matrix[initiators[dup]].copy()
+        exch_i, exch_j = self._plan.compact(initiators, partners, full)
+        full_count = len(exch_i)
+        self._backend.apply_exchanges(
+            self._matrix,
+            self._functions,
+            exch_i,
+            exch_j,
+            cycle=cycle,
+            trace=self._trace,
+        )
+        partial_count = int(np.count_nonzero(partial))
+        combined = sent = None
+        if partial_count:
+            self._backend.sync()
+            combined, sent = self._apply_partial_exchanges(
+                initiators[partial], partners[partial]
+            )
+        if payload is not None:
+            self._backend.sync()
+            self._apply_duplicates(partners[dup], payload)
+        if retry is not None:
+            unanswered = ok & ~full & ~nacked
+            if unanswered.any():
+                slots = initiators[unanswered]
+                self._mf_partner[slots] = partners[unanswered]
+                self._mf_kind[slots] = 1
+                self._mf_attempt[slots] = 0
+                self._mf_due[slots] = cycle + retry.delay(0)
+                if partial_count:
+                    # the partner serviced these and holds (for the
+                    # engine: we cache) the combined reply plus the
+                    # request it answered — a retransmission is
+                    # answered from the cache
+                    pslots = initiators[partial]
+                    self._mf_kind[pslots] = 2
+                    self._mf_cache[pslots] = combined
+                    self._mf_sent[pslots] = sent
+        self.cycle += 1
+        return full_count + partial_count
+
+    def _combine_rows(
+        self, rows_i: np.ndarray, rows_j: np.ndarray
+    ) -> np.ndarray:
+        """Column-wise AGGREGATE over aligned row blocks (the
+        ``combine_array`` contract keeps this bitwise-equal to the
+        scalar ``combine`` path)."""
+        out = np.empty_like(rows_i)
+        for column, function in enumerate(self._functions):
+            out[:, column] = function.combine_array(
+                rows_i[:, column], rows_j[:, column]
+            )
+        return out
+
+    def _apply_partial_exchanges(
+        self, pi: np.ndarray, pj: np.ndarray
+    ) -> np.ndarray:
+        """The one-sided exchange: each partner ``j`` adopts
+        ``AGGREGATE(x_i, x_j)``, the initiator ``i`` is left untouched.
+        Applied in list order (an exchange sees every earlier write,
+        the same sequential semantics the backends implement); the
+        conflict-free case runs as one vectorized block, which is
+        bitwise-identical. Returns ``(combined, sent)``: the combined
+        rows and the initiator rows they answered — the retry protocol
+        caches both as the partner's pending reply."""
+        matrix = self._matrix
+        n = len(pi)
+        touched = np.concatenate([pi, pj])
+        if len(np.unique(touched)) == len(touched):
+            old = matrix[pj]
+            sent = matrix[pi]
+            combined = self._combine_rows(sent, old)
+            matrix[pj] = combined
+            delta = (combined - old).sum(axis=0)
+        else:
+            combined = np.empty((n, matrix.shape[1]), dtype=np.float64)
+            sent = np.empty((n, matrix.shape[1]), dtype=np.float64)
+            delta = np.zeros(matrix.shape[1], dtype=np.float64)
+            for t in range(n):
+                i = int(pi[t])
+                j = int(pj[t])
+                for column, function in enumerate(self._functions):
+                    value = function.combine(
+                        matrix[i, column], matrix[j, column]
+                    )
+                    delta[column] += value - matrix[j, column]
+                    combined[t, column] = value
+                    sent[t, column] = matrix[i, column]
+                    matrix[j, column] = value
+        if self._monitor_entries:
+            self._ledger_add("partial", delta)
+        self._mf_stats["partials"] += n
+        return combined, sent
+
+    def _apply_duplicates(
+        self, dj: np.ndarray, payload: np.ndarray
+    ) -> None:
+        """Service duplicated requests: one more one-sided combine at
+        each partner, against the stale ``payload`` the duplicate
+        carried. Runs after the cycle's regular exchanges (the network
+        redelivered the datagram late)."""
+        matrix = self._matrix
+        n = len(dj)
+        if len(np.unique(dj)) == n:
+            old = matrix[dj]
+            combined = self._combine_rows(payload, old)
+            matrix[dj] = combined
+            delta = (combined - old).sum(axis=0)
+        else:
+            delta = np.zeros(matrix.shape[1], dtype=np.float64)
+            for t in range(n):
+                j = int(dj[t])
+                for column, function in enumerate(self._functions):
+                    value = function.combine(
+                        payload[t, column], matrix[j, column]
+                    )
+                    delta[column] += value - matrix[j, column]
+                    matrix[j, column] = value
+        if self._monitor_entries:
+            self._ledger_add("duplicate", delta)
+        self._mf_stats["duplicates"] += n
+
+    def _apply_retry_exchanges(
+        self, fi: np.ndarray, fj: np.ndarray, adopt_i: np.ndarray
+    ) -> np.ndarray:
+        """Fresh exchanges started by retrying initiators: the partner
+        ``j`` always adopts the combined value (it serviced the
+        request); the initiator adopts it only where the reply survived
+        (``adopt_i``) — elsewhere the episode went partial again.
+        Returns ``(combined, sent)``."""
+        matrix = self._matrix
+        n = len(fi)
+        touched = np.concatenate([fi, fj])
+        if len(np.unique(touched)) == len(touched):
+            old = matrix[fj]
+            sent = matrix[fi]
+            combined = self._combine_rows(sent, old)
+            matrix[fj] = combined
+            matrix[fi[adopt_i]] = combined[adopt_i]
+            stranded = ~adopt_i
+            delta = (combined[stranded] - old[stranded]).sum(axis=0)
+        else:
+            combined = np.empty((n, matrix.shape[1]), dtype=np.float64)
+            sent = np.empty((n, matrix.shape[1]), dtype=np.float64)
+            delta = np.zeros(matrix.shape[1], dtype=np.float64)
+            for t in range(n):
+                i = int(fi[t])
+                j = int(fj[t])
+                take = bool(adopt_i[t])
+                for column, function in enumerate(self._functions):
+                    value = function.combine(
+                        matrix[i, column], matrix[j, column]
+                    )
+                    if not take:
+                        delta[column] += value - matrix[j, column]
+                    combined[t, column] = value
+                    sent[t, column] = matrix[i, column]
+                    matrix[j, column] = value
+                    if take:
+                        matrix[i, column] = value
+        if self._monitor_entries:
+            # the atomic subset conserves mass; only the stranded
+            # partials drift
+            self._ledger_add("partial", delta)
+        self._mf_stats["partials"] += int(np.count_nonzero(~adopt_i))
+        return combined, sent
+
+    def _apply_repairs(self, slots: np.ndarray) -> None:
+        """Deliver a retransmitted cached reply to each initiator in
+        ``slots``: the initiator finally completes the exchange it
+        requested with value ``sent`` and got reply ``cache`` for.
+
+        For mean columns it applies the exchange as the *increment*
+        ``x += cache - sent`` — together with the partner's recorded
+        partial this sums to exactly zero mass, even if the initiator's
+        value moved in between (it can have served as a partner in the
+        very cycle its own exchange went partial — concurrent messages
+        were already in flight). When the initiator's value is still
+        frozen at ``sent`` (the common case) this reduces to adopting
+        ``cache`` outright. Non-mean columns merge the late reply
+        through AGGREGATE, which is the protocol-natural move for the
+        idempotent combiners (max/min)."""
+        cache = self._mf_cache[slots]
+        sent = self._mf_sent[slots]
+        old = self._matrix[slots]
+        repaired = np.empty_like(cache)
+        for column, function in enumerate(self._functions):
+            if isinstance(function, MeanAggregate):
+                repaired[:, column] = old[:, column] + (
+                    cache[:, column] - sent[:, column]
+                )
+            else:
+                repaired[:, column] = function.combine_array(
+                    cache[:, column], old[:, column]
+                )
+        self._matrix[slots] = repaired
+        if self._monitor_entries:
+            self._ledger_add("repair", (repaired - old).sum(axis=0))
+        self._mf_stats["repairs"] += len(slots)
+
+    def _clear_pending(self, slots: np.ndarray) -> None:
+        """Resolve outstanding episodes (``push_only`` is permanent and
+        survives — only slot recycling clears it)."""
+        self._mf_partner[slots] = -1
+        self._mf_kind[slots] = 0
+        self._mf_attempt[slots] = 0
+        self._mf_due[slots] = 0
+
+    def _process_retries(self) -> int:
+        """Fire every pending exchange whose backoff timer is due.
+
+        Runs at the top of the cycle, before this cycle's partner
+        draws. Per due initiator, in slot order:
+
+        1. Budget check — an initiator that already burned its retry
+           budget gives up *now* via the spec's fallback (``accept``:
+           rejoin and keep the drift; ``push_only``: permanently stop
+           initiating). No coins are drawn for it.
+        2. Target — ``retransmit`` resends to the recorded partner,
+           ``redraw`` draws a fresh one through the partner provider.
+        3. Coins — request then reply, from the shared loss-coin
+           helper; a dead target is unreachable, and a target that is
+           itself pending refuses *fresh* exchanges (its value is
+           frozen) but still answers retransmissions from its cache.
+        4. Outcome — a contacted partner that already serviced the
+           original request (kind 2, retransmit mode) answers from its
+           cached combined value: the initiator adopting it repairs the
+           partial's mass drift *exactly*. Otherwise a fresh exchange
+           runs (:meth:`_apply_retry_exchanges`). Unresolved episodes
+           back off exponentially and burn one attempt.
+        """
+        retry = self._retry
+        pending = self._mf_partner >= 0
+        if not pending.any():
+            return 0
+        due = np.flatnonzero(pending & (self._mf_due <= self.cycle))
+        if len(due) == 0:
+            return 0
+        self._backend.sync()
+        faults = self._faults
+        cycle = self.cycle
+        exhausted = self._mf_attempt[due] >= retry.budget
+        if exhausted.any():
+            spent = due[exhausted]
+            if retry.fallback == "push_only":
+                self._mf_push_only[spent] = True
+            self._clear_pending(spent)
+            self._mf_stats["giveups"] += len(spent)
+            due = due[~exhausted]
+        n = len(due)
+        if n == 0:
+            return 0
+        self._mf_stats["retries"] += n
+        if retry.mode == "redraw":
+            targets = self._provider.redraw(
+                due.astype(np.int32), self._rng,
+                np.empty(n, dtype=np.int32),
+            ).astype(np.int64)
+        else:
+            targets = self._mf_partner[due]
+        req_ok = self._loss_coins(n, faults.request_loss_at(cycle))
+        rep_ok = self._loss_coins(n, faults.reply_loss_at(cycle))
+        reachable = req_ok & self._participant[targets]
+        # a fresh exchange needs a partner that is free to combine; a
+        # kind-2 retransmission only needs the partner's *cache*, which
+        # it serves without touching its own (possibly frozen) state —
+        # otherwise a saturated loss burst deadlocks the whole network
+        # into mutually-refusing pending nodes
+        available = reachable & ~pending[targets]
+        resolved = np.zeros(n, dtype=bool)
+        if retry.mode == "retransmit":
+            cached = reachable & (self._mf_kind[due] == 2)
+            repaired = cached & rep_ok
+            if repaired.any():
+                self._apply_repairs(due[repaired])
+                resolved |= repaired
+            fresh = available & (self._mf_kind[due] == 1)
+        else:
+            # a redraw abandons the old episode: any cached reply at
+            # the original partner is stale and never collected
+            fresh = available
+        if fresh.any():
+            fi = due[fresh]
+            fj = targets[fresh]
+            adopt = rep_ok[fresh]
+            combined, sent = self._apply_retry_exchanges(fi, fj, adopt)
+            resolved |= fresh & rep_ok
+            stranded = fresh & ~rep_ok
+            if stranded.any():
+                # the partner serviced this retry but the reply was
+                # lost: the episode is now a cached partial against the
+                # *new* target
+                slots = due[stranded]
+                self._mf_partner[slots] = targets[stranded]
+                self._mf_kind[slots] = 2
+                self._mf_cache[slots] = combined[~adopt]
+                self._mf_sent[slots] = sent[~adopt]
+        if resolved.any():
+            self._clear_pending(due[resolved])
+        unresolved = ~resolved
+        if unresolved.any():
+            slots = due[unresolved]
+            attempts = self._mf_attempt[slots] + 1
+            self._mf_attempt[slots] = attempts
+            self._mf_due[slots] = cycle + np.array(
+                [retry.delay(int(a)) for a in attempts], dtype=np.int64
+            )
+        return n
 
     def run(
         self,

@@ -301,6 +301,19 @@ class PartnerProvider:
         """Draw one partner per initiator into ``out`` and return it."""
         raise NotImplementedError
 
+    def redraw(
+        self,
+        requesters: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Draw a fresh partner for ``requesters`` outside the regular
+        cycle draw — the retry protocol's ``redraw`` mode. Defaults to
+        the ordinary draw; providers whose :meth:`draw` interprets its
+        argument as the *candidate pool* rather than per-node state
+        (the dynamic oracle) must override it."""
+        return self.draw(requesters, rng, out)
+
     def on_join(self, slots: np.ndarray, rng: np.random.Generator) -> None:
         """Slots were (re)admitted by churn; seed any per-node state."""
 
@@ -371,6 +384,32 @@ class OracleProvider(PartnerProvider):
         if clash.any():
             positions[clash] = (positions[clash] + 1) % count
         np.take(initiators, positions, out=out)
+        return out
+
+    def redraw(
+        self,
+        requesters: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        if not self._dynamic:
+            return self._topology.random_neighbor_array(
+                requesters, rng, out=out
+            )
+        # the dynamic draw above samples among the *passed* array (in
+        # the regular cycle that array IS the participant set); a
+        # retrying subset must still draw among all current
+        # participants, with self-picks shifted the same way
+        engine = self._engine
+        pool = engine._plan.initiators(
+            engine._participant, engine._mask_version
+        )
+        positions = rng.integers(0, len(pool), size=len(requesters))
+        np.take(pool, positions, out=out)
+        clash = out == requesters
+        if clash.any():
+            positions[clash] = (positions[clash] + 1) % len(pool)
+            out[clash] = pool[positions[clash]]
         return out
 
 

@@ -1,0 +1,284 @@
+"""Message-level fault model for kernel scenarios.
+
+The paper's practical-issues discussion is explicit that the clean §3
+analysis assumes atomic push-pull: an exchange either happens at both
+endpoints or at neither. Deployment breaks that in an *asymmetric* way
+— the request and the reply travel on different link directions, and
+losing them has very different consequences:
+
+* a lost **request** silently cancels the exchange (neither endpoint
+  changes; the initiator wasted a cycle),
+* a lost **reply** executes the *partial* exchange the paper worries
+  about: the partner already applied ``AGGREGATE(x_i, x_j)`` when it
+  serviced the request, but the initiator never hears back and keeps
+  its old value. For AGGREGATE_AVG this moves total system mass by
+  ``(x_i - x_j) / 2`` per event — the mass-conservation invariant of
+  §3 is violated and the converged estimate drifts off the true
+  aggregate,
+* a **duplicated** request re-applies a stale payload at the partner
+  (the network delivered the datagram twice): one more one-sided
+  combine, again moving mass.
+
+:class:`MessageFaultSpec` declares these three fault processes with
+independent probabilities — independent request/reply rates are what
+makes the link *asymmetric* — plus optional per-cycle schedules (the
+same ``cycle -> probability`` callables :attr:`Scenario.loss_schedule`
+uses; :func:`constant_loss` and :func:`burst_loss` are the canonical
+factories). Like :class:`~repro.kernel.adversary.AdversarySpec`, the
+spec is applied entirely by :class:`~repro.kernel.engine.GossipEngine`:
+fault coins come from the engine RNG, partial exchanges and duplicate
+deliveries are engine-side matrix writes, and execution backends never
+see the spec — so reference/vectorized/sharded stay bitwise-equal
+under any fault configuration.
+
+:class:`RetrySpec` adds the recovery protocol: timeout detection in
+cycle units, retransmission (or a fresh partner draw through the
+:class:`~repro.kernel.membership.PartnerProvider` layer), exponential
+backoff under a retry budget, and a guarded push-only fallback that
+trades convergence factor for mass safety. The retransmit mode repairs
+mass *exactly*: the partner caches the combined value it computed when
+it serviced the original request, a node with an outstanding exchange
+neither initiates nor accepts new exchanges (its value is frozen), so
+a successful retransmission delivers exactly the cached reply and the
+pair ends the episode in the same state an atomic exchange would have
+produced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+
+#: a schedule maps a cycle number to that cycle's loss probability
+LossSchedule = Callable[[int], float]
+
+#: accepted :attr:`RetrySpec.mode` values
+RETRY_MODES = ("retransmit", "redraw")
+
+#: accepted :attr:`RetrySpec.fallback` values
+RETRY_FALLBACKS = ("accept", "push_only")
+
+
+def constant_loss(p: float) -> LossSchedule:
+    """A schedule that always returns ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(
+            f"loss probability must be in [0, 1], got {p}"
+        )
+
+    def schedule(cycle: int) -> float:
+        return p
+
+    return schedule
+
+
+def burst_loss(p_background: float, p_burst: float, burst_start: int,
+               burst_end: int) -> LossSchedule:
+    """Background loss with a heavier burst during
+    ``[burst_start, burst_end)``."""
+    for name, value in (("p_background", p_background),
+                        ("p_burst", p_burst)):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(
+                f"{name} must be in [0, 1], got {value}"
+            )
+    if burst_start > burst_end:
+        raise ConfigurationError("burst_start must not exceed burst_end")
+
+    def schedule(cycle: int) -> float:
+        return p_burst if burst_start <= cycle < burst_end else p_background
+
+    return schedule
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"{name} must be in [0, 1], got {value}"
+        )
+
+
+def _schedule_value(name: str, schedule: LossSchedule, cycle: int) -> float:
+    p = float(schedule(cycle))
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(
+            f"{name} schedule returned {p} at cycle {cycle}"
+        )
+    return p
+
+
+@dataclass(frozen=True)
+class MessageFaultSpec:
+    """One message-fault configuration, fully specified.
+
+    Parameters
+    ----------
+    request_loss:
+        Probability that an exchange's request datagram is lost. A lost
+        request cancels the exchange silently; with a
+        :class:`RetrySpec` the initiator times out and retries.
+    reply_loss:
+        Probability that the reply is lost *after* the partner applied
+        the request — the partial exchange. The partner keeps the
+        combined value, the initiator keeps its old one, and total mass
+        drifts by the difference.
+    duplication:
+        Probability that a delivered request is delivered *twice*. The
+        duplicate carries the same stale payload (the initiator's value
+        when the request was sent, i.e. at the start of the cycle) and
+        is serviced after the cycle's regular exchanges — one more
+        one-sided combine at the partner.
+    request_schedule, reply_schedule:
+        Optional ``cycle -> probability`` overrides for the two loss
+        rates (:func:`constant_loss` / :func:`burst_loss` are the
+        factories); ``duplication`` is a constant rate.
+    start, end:
+        Half-open active cycle window ``[start, end)``; ``end=None``
+        means the faults never stop. Outside the window no fault coin
+        is drawn at all, so a spec with an empty effective window is
+        bitwise-inert.
+
+    A probability of exactly ``0.0`` (and no schedule) consumes no RNG
+    for that fault process, so adding an all-zero spec leaves a run's
+    trajectory bitwise-identical to the same scenario without one.
+    """
+
+    request_loss: float = 0.0
+    reply_loss: float = 0.0
+    duplication: float = 0.0
+    request_schedule: Optional[LossSchedule] = None
+    reply_schedule: Optional[LossSchedule] = None
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _validate_probability("request_loss", self.request_loss)
+        _validate_probability("reply_loss", self.reply_loss)
+        _validate_probability("duplication", self.duplication)
+        for name, schedule in (
+            ("request_schedule", self.request_schedule),
+            ("reply_schedule", self.reply_schedule),
+        ):
+            if schedule is not None and not callable(schedule):
+                raise ConfigurationError(
+                    f"{name} must be callable (cycle -> probability), "
+                    f"got {type(schedule).__name__}"
+                )
+        if self.start < 0:
+            raise ConfigurationError(
+                f"message-fault start cycle must be >= 0, got {self.start}"
+            )
+        if self.end is not None and self.end <= self.start:
+            raise ConfigurationError(
+                f"message-fault window [{self.start}, {self.end}) is empty"
+            )
+
+    def active_at(self, cycle: int) -> bool:
+        """Whether any fault coin is drawn at ``cycle``."""
+        if cycle < self.start:
+            return False
+        return self.end is None or cycle < self.end
+
+    def request_loss_at(self, cycle: int) -> float:
+        """Effective request-loss probability at ``cycle``."""
+        if not self.active_at(cycle):
+            return 0.0
+        if self.request_schedule is not None:
+            return _schedule_value(
+                "request_loss", self.request_schedule, cycle
+            )
+        return self.request_loss
+
+    def reply_loss_at(self, cycle: int) -> float:
+        """Effective reply-loss probability at ``cycle``."""
+        if not self.active_at(cycle):
+            return 0.0
+        if self.reply_schedule is not None:
+            return _schedule_value("reply_loss", self.reply_schedule, cycle)
+        return self.reply_loss
+
+    def duplication_at(self, cycle: int) -> float:
+        """Effective duplication probability at ``cycle``."""
+        if not self.active_at(cycle):
+            return 0.0
+        return self.duplication
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """The recovery protocol for timed-out exchanges.
+
+    An initiator whose exchange produced no reply (request lost, reply
+    lost, or the partner was busy with its own outstanding exchange)
+    becomes *pending*: it stops initiating and refuses partnership —
+    its value is frozen — until the episode resolves. After ``timeout``
+    cycles it retries; each failed attempt multiplies the next delay by
+    ``backoff``; after ``budget`` failed retries it gives up via
+    ``fallback``.
+
+    Parameters
+    ----------
+    timeout:
+        Cycles the initiator waits before the first retry (>= 1 — the
+        synchronous model cannot detect a loss faster than the next
+        cycle).
+    budget:
+        Maximum number of retries before the fallback applies. A budget
+        of 0 falls back immediately after the first timeout.
+    backoff:
+        Exponential backoff multiplier (>= 1): retry ``a`` fires
+        ``ceil(timeout * backoff**a)`` cycles after attempt ``a`` failed.
+    mode:
+        ``"retransmit"`` (default) resends to the *same* partner. The
+        partner deduplicates: if it already serviced the original
+        request it resends the cached combined value, so a delivered
+        retransmission repairs the partial exchange's mass drift
+        exactly. ``"redraw"`` draws a *fresh* partner through the
+        engine's :class:`~repro.kernel.membership.PartnerProvider` and
+        starts a new exchange — this restores convergence speed but
+        never repairs mass a lost reply already drifted.
+    fallback:
+        What a node does when the budget is exhausted: ``"accept"``
+        (default) unblocks and rejoins the protocol, accepting the
+        residual drift; ``"push_only"`` permanently stops *initiating*
+        (it still responds to others) — the guarded mode that trades
+        its own convergence contribution for never again risking a
+        partial exchange it initiated.
+    """
+
+    timeout: int = 1
+    budget: int = 3
+    backoff: float = 2.0
+    mode: str = "retransmit"
+    fallback: str = "accept"
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise ConfigurationError(
+                f"retry timeout must be >= 1 cycle, got {self.timeout}"
+            )
+        if self.budget < 0:
+            raise ConfigurationError(
+                f"retry budget must be >= 0, got {self.budget}"
+            )
+        if not self.backoff >= 1.0:
+            raise ConfigurationError(
+                f"retry backoff must be >= 1, got {self.backoff}"
+            )
+        if self.mode not in RETRY_MODES:
+            raise ConfigurationError(
+                f"unknown retry mode {self.mode!r}; expected one of "
+                f"{RETRY_MODES}"
+            )
+        if self.fallback not in RETRY_FALLBACKS:
+            raise ConfigurationError(
+                f"unknown retry fallback {self.fallback!r}; expected one "
+                f"of {RETRY_FALLBACKS}"
+            )
+
+    def delay(self, attempt: int) -> int:
+        """Cycles until the next retry after ``attempt`` failures."""
+        return max(1, int(math.ceil(self.timeout * self.backoff ** attempt)))

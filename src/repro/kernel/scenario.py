@@ -31,6 +31,7 @@ from ..topology.complete import CompleteTopology
 # historical home (`from repro.kernel.scenario import BACKEND_NAMES`)
 from .backends import BACKEND_NAMES, parse_backend_spec  # noqa: F401
 from .adversary import AdversarySpec
+from .messages import MessageFaultSpec, RetrySpec
 from .lifecycle import ChurnSpec, EpochSpec
 from .membership import NewscastSpec, resolve_membership
 from .pairs import PairProtocolSpec, TheoremSAggregate
@@ -128,6 +129,23 @@ class Scenario:
         own overlay; a CSR overlay underneath it would be ignored)
         and is rejected with ``pair_protocol`` and the ``eclipse``
         adversary (both assume the oracle's draw structure).
+    message_faults:
+        Optional :class:`~repro.kernel.messages.MessageFaultSpec` —
+        the asymmetric message-level fault model: independent
+        request-loss and reply-loss probabilities (with per-cycle
+        schedules) plus duplication. A lost reply executes the
+        *partial* exchange (the partner adopts the combined value, the
+        initiator keeps its old one), the mass-drift failure mode the
+        paper's practical-issues discussion warns about. Applied
+        entirely by the engine, like ``adversary``, so all backends
+        stay bitwise-equal. Rejected with ``pair_protocol``.
+    retry:
+        Optional :class:`~repro.kernel.messages.RetrySpec` — the
+        recovery protocol for exchanges that produced no reply:
+        timeout detection in cycle units, retransmission (or a fresh
+        partner redraw through the membership layer), exponential
+        backoff under a retry budget, and an ``accept`` or
+        ``push_only`` give-up fallback. Requires ``message_faults``.
     cycles:
         Default cycle budget for :func:`run_scenario`-style drivers.
     seed:
@@ -158,6 +176,8 @@ class Scenario:
     pair_protocol: Optional[PairProtocolSpec] = None
     adversary: Optional[AdversarySpec] = None
     membership: Optional[object] = None
+    message_faults: Optional[MessageFaultSpec] = None
+    retry: Optional[RetrySpec] = None
     cycles: int = 30
     seed: SeedLike = None
     backend: str = "auto"
@@ -277,6 +297,27 @@ class Scenario:
                     f"adversary nodes {self.adversary.nodes} exceed the "
                     f"topology size {self.topology.n}"
                 )
+        if self.message_faults is not None and not isinstance(
+            self.message_faults, MessageFaultSpec
+        ):
+            raise ConfigurationError(
+                f"message_faults must be a MessageFaultSpec, got "
+                f"{type(self.message_faults).__name__}"
+            )
+        if self.retry is not None:
+            if not isinstance(self.retry, RetrySpec):
+                raise ConfigurationError(
+                    f"retry must be a RetrySpec, got "
+                    f"{type(self.retry).__name__}"
+                )
+            if self.message_faults is None:
+                raise ConfigurationError(
+                    "retry needs message_faults: the retry protocol "
+                    "recovers from request/reply losses, which only the "
+                    "message-level fault model produces (symmetric "
+                    "loss_probability drops are invisible to both "
+                    "endpoints, so there is nothing to retry)"
+                )
         if self.pair_protocol is not None:
             self._init_pair_mode()
 
@@ -297,13 +338,14 @@ class Scenario:
             or self.partition is not None
             or self.adversary is not None
             or self.membership is not None
+            or self.message_faults is not None
             or self.is_dynamic
         ):
             raise ConfigurationError(
                 "pair-mode scenarios model the failure-free AVG of "
                 "Figure 2; loss, crash plans, partitions, adversaries, "
-                "membership providers, churn and epochs are not "
-                "supported with pair_protocol"
+                "membership providers, message faults, churn and epochs "
+                "are not supported with pair_protocol"
             )
         spec.validate_topology(self.topology)
         # pair mode owns the instance layout; accept only the default
